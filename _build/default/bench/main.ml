@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every reconstructed table and figure
+   (E1..E11) and then runs Bechamel micro-benchmarks of the decision path —
+   the components whose speed makes run-time adaptation viable at all.
+
+   Usage: dune exec bench/main.exe            (full experiment sizes)
+          dune exec bench/main.exe -- --quick (reduced sizes, same shapes)
+          dune exec bench/main.exe -- --only E3,E9
+          dune exec bench/main.exe -- --skip-micro *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Aspipe_util.Rng
+module Forecast = Aspipe_util.Forecast
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Analytic = Aspipe_model.Analytic
+module Ctmc = Aspipe_model.Ctmc
+module Search = Aspipe_model.Search
+module Pqueue = Aspipe_des.Pqueue
+
+let synthetic_spec ~stages ~processors =
+  let rng = Rng.create 23 in
+  {
+    Costspec.stage_work = Array.init stages (fun _ -> Rng.range rng 0.5 2.0);
+    node_rates = Array.init processors (fun _ -> Rng.range rng 5.0 15.0);
+    item_bytes = 1e4;
+    output_bytes = Array.make stages 1e4;
+    latency = Array.init processors (fun _ -> Array.make processors 0.01);
+    bandwidth = Array.init processors (fun _ -> Array.make processors 1e7);
+    user_latency = Array.make processors 0.01;
+    user_bandwidth = Array.make processors 1e7;
+  }
+
+let micro_tests () =
+  let spec44 = synthetic_spec ~stages:4 ~processors:4 in
+  let spec88 = synthetic_spec ~stages:8 ~processors:8 in
+  let spec55 = synthetic_spec ~stages:5 ~processors:5 in
+  let mapping44 = Mapping.round_robin ~stages:4 ~processors:4 in
+  let mapping55 = Mapping.round_robin ~stages:5 ~processors:5 in
+  Test.make_grouped ~name:"aspipe" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"analytic-eval-4x4"
+        (Staged.stage (fun () -> ignore (Analytic.throughput spec44 mapping44)));
+      Test.make ~name:"ctmc-solve-4st"
+        (Staged.stage (fun () -> ignore (Ctmc.throughput (Ctmc.of_costspec spec44 mapping44))));
+      Test.make ~name:"ctmc-solve-5st"
+        (Staged.stage (fun () -> ignore (Ctmc.throughput (Ctmc.of_costspec spec55 mapping55))));
+      Test.make ~name:"search-exhaustive-4x4"
+        (Staged.stage (fun () ->
+             ignore (Search.exhaustive ~stages:4 ~processors:4 (Analytic.throughput spec44))));
+      Test.make ~name:"search-auto-8x8"
+        (Staged.stage (fun () ->
+             ignore (Search.auto ~stages:8 ~processors:8 (Analytic.throughput spec88))));
+      Test.make ~name:"pqueue-1k-insert-pop"
+        (Staged.stage (fun () ->
+             let q = Pqueue.create () in
+             for i = 0 to 999 do
+               ignore (Pqueue.insert q (Float.of_int ((i * 7919) mod 997)) i)
+             done;
+             let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
+             drain ()));
+      Test.make ~name:"forecast-adaptive-100obs"
+        (Staged.stage (fun () ->
+             let f = Forecast.adaptive () in
+             for i = 0 to 99 do
+               Forecast.observe f (0.5 +. (0.4 *. sin (Float.of_int i /. 7.0)))
+             done;
+             ignore (Forecast.predict f)));
+      Test.make ~name:"sim-pipeline-100items"
+        (Staged.stage (fun () ->
+             let scenario =
+               Aspipe_core.Scenario.make ~name:"bench"
+                 ~make_topo:(fun engine ->
+                   Aspipe_grid.Topology.uniform engine ~n:3 ~speed:10.0 ~latency:0.01
+                     ~bandwidth:1e7 ())
+                 ~stages:(Aspipe_skel.Stage.balanced ~n:4 ~work:1.0 ())
+                 ~input:(Aspipe_skel.Stream_spec.make ~items:100 ())
+                 ()
+             in
+             ignore
+               (Aspipe_core.Baselines.run_static ~label:"bench" ~mapping:[| 0; 1; 2; 0 |]
+                  ~scenario ~seed:3)));
+    ]
+
+let run_micro () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "######## Micro-benchmarks (monotonic clock, ns/run) ########";
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (estimate :: _) -> Printf.printf "%-36s %14.1f ns/run\n" name estimate
+      | Some [] | None -> Printf.printf "%-36s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  let only =
+    let rec find = function
+      | "--only" :: spec :: _ -> Some (String.split_on_char ',' spec)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (match only with
+  | None -> Aspipe_exp.Registry.run_all ~quick
+  | Some ids ->
+      List.iter
+        (fun id ->
+          match Aspipe_exp.Registry.find id with
+          | Some e ->
+              Printf.printf "######## %s: %s ########\n" e.Aspipe_exp.Registry.id
+                e.Aspipe_exp.Registry.title;
+              e.Aspipe_exp.Registry.run ~quick
+          | None -> Printf.eprintf "unknown experiment id: %s\n" id)
+        ids);
+  if not skip_micro then run_micro ()

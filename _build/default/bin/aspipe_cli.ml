@@ -1,0 +1,247 @@
+(* aspipe — command-line front end.
+
+   Subcommands:
+     list-experiments        enumerate the reconstructed tables/figures
+     experiment <id>         regenerate one (or `all`)
+     simulate                run an ad-hoc adaptive-vs-static comparison
+     calibrate               show a calibration pass on a synthetic pipeline
+     forecast-demo           NWS-style forecaster accuracy on a step signal *)
+
+open Cmdliner
+
+module Rng = Aspipe_util.Rng
+module Forecast = Aspipe_util.Forecast
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+module Loadgen = Aspipe_grid.Loadgen
+module Scenario = Aspipe_core.Scenario
+module Adaptive = Aspipe_core.Adaptive
+module Baselines = Aspipe_core.Baselines
+module Calibration = Aspipe_core.Calibration
+module Registry = Aspipe_exp.Registry
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced experiment sizes (same shapes).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log adaptation decisions to stderr.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+(* ------------------------------------------------------- list-experiments *)
+
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-4s %-7s %s\n" e.Registry.id
+        (match e.Registry.kind with Registry.Table -> "table" | Registry.Figure -> "figure")
+        e.Registry.title)
+    Registry.all
+
+let list_cmd =
+  Cmd.v (Cmd.info "list-experiments" ~doc:"List the reconstructed tables and figures")
+    Term.(const list_experiments $ const ())
+
+(* ------------------------------------------------------------- experiment *)
+
+let run_experiment quick id =
+  if String.lowercase_ascii id = "all" then `Ok (Registry.run_all ~quick)
+  else
+    match Registry.find id with
+    | Some e -> `Ok (e.Registry.run ~quick)
+    | None -> `Error (false, Printf.sprintf "unknown experiment %S (try list-experiments)" id)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E11 or 'all').")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one experiment (or all)")
+    Term.(ret (const run_experiment $ quick_arg $ id_arg))
+
+(* --------------------------------------------------------------- simulate *)
+
+let simulate verbose seed nodes stages items hot step_at summary csv_dir =
+  setup_logs verbose;
+  let stage_array =
+    if hot > 1.0 then Aspipe_workload.Synthetic.hot_stage ~n:stages ~factor:hot ()
+    else Aspipe_workload.Synthetic.balanced ~n:stages ()
+  in
+  let loads =
+    if step_at > 0.0 then [ (0, Loadgen.Step { at = step_at; level = 0.2 }) ] else []
+  in
+  let scenario =
+    Scenario.make ~name:"cli"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+      ~loads ~stages:stage_array
+      ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
+      ~horizon:1e5 ()
+  in
+  let static = Baselines.static_model_best ~scenario ~seed () in
+  let adaptive = Adaptive.run ~scenario ~seed () in
+  Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
+    (Aspipe_model.Mapping.to_string static.Baselines.mapping)
+    static.Baselines.makespan;
+  Format.printf "adaptive          : %a@." Adaptive.pp_report adaptive;
+  if summary then
+    Aspipe_util.Render.Table.print
+      (Aspipe_grid.Trace_stats.summary_table adaptive.Adaptive.trace ~stages);
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      Aspipe_util.Csvio.write_rows
+        ~path:(Filename.concat dir "gantt.csv")
+        (Aspipe_grid.Trace_stats.gantt_rows adaptive.Adaptive.trace);
+      let path =
+        Aspipe_util.Csvio.save_table ~dir ~basename:"stage_summary"
+          (Aspipe_grid.Trace_stats.summary_table adaptive.Adaptive.trace ~stages)
+      in
+      Printf.printf "wrote %s and %s\n" (Filename.concat dir "gantt.csv") path
+
+let simulate_cmd =
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Grid size.") in
+  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let items = Arg.(value & opt int 500 & info [ "items" ] ~doc:"Input items.") in
+  let hot = Arg.(value & opt float 1.0 & info [ "hot-factor" ] ~doc:"Cost multiplier of the middle stage.") in
+  let step = Arg.(value & opt float 60.0 & info [ "step-at" ] ~doc:"Time of a load step on node 0 (0 = none).") in
+  let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Print the per-stage trace summary.") in
+  let csv = Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Write gantt.csv and stage_summary.csv to DIR.") in
+  Cmd.v (Cmd.info "simulate" ~doc:"Ad-hoc adaptive vs static run on a uniform grid")
+    Term.(const simulate $ verbose_arg $ seed_arg $ nodes $ stages $ items $ hot $ step $ summary $ csv)
+
+(* ------------------------------------------------------------------ farm *)
+
+let farm verbose seed nodes items step_at =
+  setup_logs verbose;
+  let speeds = Array.init nodes (fun i -> 14.0 -. (1.5 *. Float.of_int i)) in
+  let loads =
+    if step_at > 0.0 && nodes > 1 then [ (1, Loadgen.Step { at = step_at; level = 0.15 }) ]
+    else []
+  in
+  let scenario =
+    Scenario.make ~name:"cli-farm"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.heterogeneous engine ~speeds ~latency:0.01 ~bandwidth:1e7 ())
+      ~loads
+      ~stages:
+        [| Aspipe_skel.Stage.make ~name:"task" ~state_bytes:0.0
+             ~work:(Aspipe_util.Variate.Constant 1.0) () |]
+      ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.06) ~items ())
+      ~horizon:1e5 ()
+  in
+  let module AF = Aspipe_core.Adaptive_farm in
+  let static = AF.run ~config:{ AF.default_config with adapt = false } ~scenario ~seed () in
+  let adaptive = AF.run ~scenario ~seed () in
+  Format.printf "static:   %a@." AF.pp_report static;
+  Format.printf "adaptive: %a@." AF.pp_report adaptive
+
+let farm_cmd =
+  let nodes = Arg.(value & opt int 6 & info [ "nodes" ] ~doc:"Grid size (speeds 14, 12.5, 11, ...).") in
+  let items = Arg.(value & opt int 1200 & info [ "items" ] ~doc:"Input items.") in
+  let step = Arg.(value & opt float 20.0 & info [ "step-at" ] ~doc:"Time of a load step on node 1 (0 = none).") in
+  Cmd.v (Cmd.info "farm" ~doc:"Adaptive vs static task farm on a heterogeneous grid")
+    Term.(const farm $ verbose_arg $ seed_arg $ nodes $ items $ step)
+
+(* ------------------------------------------------------------- replicate *)
+
+let replicate verbose seed nodes stages hot items =
+  setup_logs verbose;
+  let stage_array = Aspipe_workload.Synthetic.hot_stage ~n:stages ~factor:hot () in
+  let scenario =
+    Scenario.make ~name:"cli-repl"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+      ~stages:stage_array
+      ~input:(Stream_spec.make ~items ())
+      ~horizon:1e5 ()
+  in
+  let module AR = Aspipe_core.Adaptive_repl in
+  let report = AR.run ~scenario ~seed () in
+  Format.printf "%a@." AR.pp_report report
+
+let replicate_cmd =
+  let nodes = Arg.(value & opt int 7 & info [ "nodes" ] ~doc:"Grid size.") in
+  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let hot = Arg.(value & opt float 4.0 & info [ "hot-factor" ] ~doc:"Cost multiplier of the middle stage.") in
+  let items = Arg.(value & opt int 500 & info [ "items" ] ~doc:"Input items.") in
+  Cmd.v
+    (Cmd.info "replicate" ~doc:"Pipeline with model-allocated replicated stages")
+    Term.(const replicate $ verbose_arg $ seed_arg $ nodes $ stages $ hot $ items)
+
+(* -------------------------------------------------------------- calibrate *)
+
+let calibrate seed probes =
+  let stages = Aspipe_workload.Synthetic.noisy ~n:5 ~cv:0.4 () in
+  let calibration = Calibration.run ~probes ~rng:(Rng.create seed) stages in
+  Format.printf "%a" Calibration.pp calibration;
+  let errors = Calibration.relative_error calibration stages in
+  Array.iteri (fun i e -> Printf.printf "stage %d relative error: %.1f%%\n" i (100.0 *. e)) errors
+
+let calibrate_cmd =
+  let probes = Arg.(value & opt int 5 & info [ "probes" ] ~doc:"Probe items per stage.") in
+  Cmd.v (Cmd.info "calibrate" ~doc:"Run the calibration phase on a noisy synthetic pipeline")
+    Term.(const calibrate $ seed_arg $ probes)
+
+(* ------------------------------------------------------------ export-pepa *)
+
+let export_pepa stages nodes hot =
+  let engine = Aspipe_des.Engine.create () in
+  let topo =
+    Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ()
+  in
+  let stage_array =
+    if hot > 1.0 then Aspipe_workload.Synthetic.hot_stage ~n:stages ~factor:hot ()
+    else Aspipe_workload.Synthetic.balanced ~n:stages ()
+  in
+  let input = Stream_spec.make ~items:100 ~item_bytes:1e4 () in
+  let spec = Aspipe_model.Costspec.of_topology ~topo ~stages:stage_array ~input () in
+  let predictor = Aspipe_model.Predictor.make spec in
+  let result = Aspipe_model.Predictor.choose predictor in
+  print_string (Aspipe_model.Pepa_export.pipeline spec result.Aspipe_model.Search.mapping);
+  Printf.printf "// model-chosen mapping %s, predicted throughput %.4f items/s\n"
+    (Aspipe_model.Mapping.to_string result.Aspipe_model.Search.mapping)
+    result.Aspipe_model.Search.score
+
+let export_pepa_cmd =
+  let stages = Arg.(value & opt int 3 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Grid size.") in
+  let hot = Arg.(value & opt float 1.0 & info [ "hot-factor" ] ~doc:"Cost multiplier of the middle stage.") in
+  Cmd.v
+    (Cmd.info "export-pepa"
+       ~doc:"Print the pipeline's PEPA model for the model-chosen mapping")
+    Term.(const export_pepa $ stages $ nodes $ hot)
+
+(* ---------------------------------------------------------- forecast-demo *)
+
+let forecast_demo () =
+  let signal = Array.init 80 (fun i -> if i < 40 then 0.9 else 0.3) in
+  let forecaster = Forecast.adaptive ~fallback:1.0 () in
+  Array.iteri
+    (fun i v ->
+      let predicted = Forecast.predict forecaster in
+      Forecast.observe forecaster v;
+      if i mod 8 = 0 then Printf.printf "t=%2d  predicted %.3f  observed %.3f\n" i predicted v)
+    signal;
+  Printf.printf "ensemble MAE over the run: %.4f\n" (Forecast.mae forecaster);
+  List.iter
+    (fun (name, mse) -> Printf.printf "  member %-10s mse %.5f\n" name mse)
+    (Forecast.members forecaster)
+
+let forecast_cmd =
+  Cmd.v (Cmd.info "forecast-demo" ~doc:"Show the NWS-style adaptive forecaster on a step signal")
+    Term.(const forecast_demo $ const ())
+
+let () =
+  let info = Cmd.info "aspipe" ~version:"1.0.0" ~doc:"Adaptive parallel pipeline pattern for grids" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; experiment_cmd; simulate_cmd; farm_cmd; replicate_cmd; calibrate_cmd;
+            forecast_cmd; export_pepa_cmd;
+          ]))

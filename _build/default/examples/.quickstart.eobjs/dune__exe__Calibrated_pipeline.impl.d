@@ -1,0 +1,1 @@
+examples/calibrated_pipeline.ml: Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Aspipe_workload Float Format List Printf String Unix

@@ -1,0 +1,1 @@
+examples/calibrated_pipeline.mli:

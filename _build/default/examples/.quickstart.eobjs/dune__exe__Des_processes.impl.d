@@ -1,0 +1,1 @@
+examples/des_processes.ml: Aspipe_des Printf

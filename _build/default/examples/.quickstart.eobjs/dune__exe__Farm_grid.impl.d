@@ -1,0 +1,1 @@
+examples/farm_grid.ml: Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Format Fun List Printf String

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Aspipe_model Aspipe_skel Aspipe_util Aspipe_workload Float List Printf Unix

@@ -1,0 +1,1 @@
+examples/multisite.ml: Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util List Printf

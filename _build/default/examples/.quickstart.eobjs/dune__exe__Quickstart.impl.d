@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Aspipe_core Aspipe_grid Aspipe_skel Aspipe_util Format Printf

@@ -1,0 +1,85 @@
+(* From real code to a grid schedule: time the actual image-filter kernels
+   on this machine, turn the measurements into stage cost specs (1 work unit
+   = 1 second on this machine), and let the performance model place the
+   pipeline on a heterogeneous grid — then check the schedule in simulation.
+
+     dune exec examples/calibrated_pipeline.exe *)
+
+module Image = Aspipe_workload.Image
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+module Variate = Aspipe_util.Variate
+module Rng = Aspipe_util.Rng
+module Costspec = Aspipe_model.Costspec
+module Predictor = Aspipe_model.Predictor
+module Search = Aspipe_model.Search
+module Analytic = Aspipe_model.Analytic
+module Mapping = Aspipe_model.Mapping
+module Scenario = Aspipe_core.Scenario
+module Baselines = Aspipe_core.Baselines
+
+let side = 256
+
+let time_kernel ~repeats f frame =
+  (* Warm up once, then average. *)
+  ignore (f frame);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeats do
+    ignore (f frame)
+  done;
+  (Unix.gettimeofday () -. t0) /. Float.of_int repeats
+
+let () =
+  let rng = Rng.create 31 in
+  let frame = Image.random rng ~width:side ~height:side in
+  let kernels =
+    [
+      ("blur", fun img -> Image.gaussian_blur ~radius:3 img);
+      ("sharpen", Image.sharpen);
+      ("sobel", Image.sobel);
+      ("finalize", fun img -> Image.threshold ~level:0.25 (Image.normalize img));
+    ]
+  in
+  Printf.printf "calibrating the real kernels on %dx%d frames:\n" side side;
+  let measured =
+    List.map
+      (fun (name, f) ->
+        let seconds = time_kernel ~repeats:5 f frame in
+        Printf.printf "  %-9s %7.2f ms/frame\n%!" name (seconds *. 1000.0);
+        (name, seconds))
+      kernels
+  in
+  (* 1 work unit = 1 second on this machine; a node of speed s runs a stage
+     s x faster than here. Payload = one grayscale frame. *)
+  let frame_bytes = Float.of_int (side * side * 8) in
+  let stages =
+    Array.of_list
+      (List.map
+         (fun (name, seconds) ->
+           Stage.make ~name ~output_bytes:frame_bytes ~state_bytes:frame_bytes
+             ~work:(Variate.Constant seconds) ())
+         measured)
+  in
+  let speeds = [| 2.0; 1.0; 1.0; 0.5 |] in
+  let input = Stream_spec.make ~items:400 ~item_bytes:frame_bytes () in
+  let scenario =
+    Scenario.make ~name:"calibrated"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.heterogeneous engine ~speeds ~latency:0.005 ~bandwidth:5e7 ())
+      ~stages ~input ()
+  in
+  let topo = Scenario.build scenario ~rng:(Rng.create 32) in
+  let spec = Costspec.of_topology ~topo ~stages ~input () in
+  let result = Predictor.choose (Predictor.make spec) in
+  let mapping = result.Search.mapping in
+  let station, _ = Analytic.bottleneck spec mapping in
+  Printf.printf "\ngrid speeds (vs this machine): [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.1f") speeds)));
+  Format.printf "model-chosen mapping %s, predicted %.2f frames/s (bottleneck: %a)@."
+    (Mapping.to_string mapping) result.Search.score Analytic.pp_bottleneck station;
+  let outcome =
+    Baselines.run_static ~label:"calibrated" ~mapping:(Mapping.to_array mapping) ~scenario
+      ~seed:33
+  in
+  Printf.printf "simulated: %.2f frames/s over %d frames (makespan %.1f virtual s)\n"
+    outcome.Baselines.throughput 400 outcome.Baselines.makespan

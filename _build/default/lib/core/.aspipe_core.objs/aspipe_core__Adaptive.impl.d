@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Aspipe_des Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Calibration Float Format Logs Migration Policy Scenario

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Aspipe_grid Aspipe_model Calibration Format Migration Policy Scenario

@@ -1,0 +1,1 @@
+lib/core/adaptive_farm.ml: Array Aspipe_des Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Calibration Format Fun List Logs Scenario String

@@ -1,0 +1,1 @@
+lib/core/adaptive_farm.mli: Aspipe_grid Aspipe_skel Format Scenario

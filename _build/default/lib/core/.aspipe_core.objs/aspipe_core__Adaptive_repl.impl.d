@@ -1,0 +1,1 @@
+lib/core/adaptive_repl.ml: Array Aspipe_des Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Calibration Format List Logs Scenario String

@@ -1,0 +1,1 @@
+lib/core/adaptive_repl.mli: Aspipe_grid Format Scenario

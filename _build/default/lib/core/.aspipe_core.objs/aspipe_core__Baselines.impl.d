@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Adaptive Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Float List Policy Scenario

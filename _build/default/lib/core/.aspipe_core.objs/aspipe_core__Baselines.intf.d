@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Adaptive Aspipe_grid Aspipe_model Scenario

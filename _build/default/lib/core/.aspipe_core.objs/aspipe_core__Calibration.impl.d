@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Aspipe_skel Aspipe_util Float Format

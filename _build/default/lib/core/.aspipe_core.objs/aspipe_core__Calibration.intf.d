@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Aspipe_skel Aspipe_util Format

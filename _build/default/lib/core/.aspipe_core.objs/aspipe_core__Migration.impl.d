@@ -1,0 +1,1 @@
+lib/core/migration.ml: Array Aspipe_model Aspipe_skel Float Fun List

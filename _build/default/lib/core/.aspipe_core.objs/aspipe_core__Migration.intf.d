@@ -1,0 +1,1 @@
+lib/core/migration.mli: Aspipe_model Aspipe_skel

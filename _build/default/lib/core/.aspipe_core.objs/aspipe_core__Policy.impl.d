@@ -1,0 +1,1 @@
+lib/core/policy.ml: Aspipe_model Float

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Aspipe_model

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Aspipe_des Aspipe_grid Aspipe_skel Aspipe_util

@@ -1,0 +1,213 @@
+module Engine = Aspipe_des.Engine
+module Rng = Aspipe_util.Rng
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Monitor = Aspipe_grid.Monitor
+module Trace = Aspipe_grid.Trace
+module Skel_sim = Aspipe_skel.Skel_sim
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Predictor = Aspipe_model.Predictor
+module Search = Aspipe_model.Search
+
+let log_src = Logs.Src.create "aspipe.adaptive" ~doc:"Adaptive pipeline engine"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  policy : unit -> Policy.t;
+  evaluator : Predictor.kind;
+  monitor_every : float;
+  evaluate_every : float;
+  sensor : Monitor.sensor_spec;
+  probes : int;
+  measurement_noise : float;
+  migration : Migration.t;
+  fix_first_on : int option;
+  initial_resource_reading : bool;
+}
+
+let default_config =
+  {
+    policy = (fun () -> Policy.threshold ());
+    evaluator = Predictor.Analytic;
+    monitor_every = 5.0;
+    evaluate_every = 10.0;
+    sensor = Monitor.default_sensor;
+    probes = 5;
+    measurement_noise = 0.01;
+    migration = Migration.default;
+    fix_first_on = None;
+    initial_resource_reading = true;
+  }
+
+type report = {
+  scenario_name : string;
+  policy_name : string;
+  trace : Trace.t;
+  calibration : Calibration.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  makespan : float;
+  throughput : float;
+  adaptation_count : int;
+  policy_evaluations : int;
+  monitor_samples : int;
+}
+
+let run ?(config = default_config) ~scenario ~seed () =
+  let root_rng = Rng.create seed in
+  let env_rng = Rng.split root_rng in
+  let calib_rng = Rng.split root_rng in
+  let sim_rng = Rng.split root_rng in
+  let monitor_rng = Rng.split root_rng in
+  let topo = Scenario.build scenario ~rng:env_rng in
+  let engine = Topology.engine topo in
+  let stages = scenario.Scenario.stages in
+  let input = scenario.Scenario.input in
+  let policy = config.policy () in
+
+  (* Phase 1: calibration. *)
+  let calibration =
+    Calibration.run ~probes:config.probes ~measurement_noise:config.measurement_noise
+      ~rng:calib_rng stages
+  in
+  let calibrated_work = Calibration.work_vector calibration in
+
+  (* Phase 2: initial scheduling. *)
+  let monitor =
+    Monitor.create ~sensor:config.sensor ~rng:monitor_rng ~every:config.monitor_every
+      ~horizon:scenario.Scenario.horizon topo
+  in
+  let spec_from ?link_quality ?user_link_quality availability =
+    Costspec.with_stage_work
+      (Costspec.of_topology ~availability ?link_quality ?user_link_quality ~topo ~stages ~input
+         ())
+      calibrated_work
+  in
+  let belief_spec () =
+    spec_from
+      ~link_quality:(fun ~src ~dst -> Monitor.link_forecast monitor ~src ~dst)
+      ~user_link_quality:(Monitor.user_link_forecast monitor)
+      (Monitor.node_forecast monitor)
+  in
+  let initial_spec =
+    if config.initial_resource_reading then
+      spec_from (fun i -> Node.availability (Topology.node topo i))
+    else
+      spec_from
+        ~link_quality:(fun ~src:_ ~dst:_ -> 1.0)
+        ~user_link_quality:(fun _ -> 1.0)
+        (fun _ -> 1.0)
+  in
+  let initial_predictor = Predictor.make ~kind:config.evaluator initial_spec in
+  let initial_search =
+    match config.fix_first_on with
+    | None -> Predictor.choose initial_predictor
+    | Some p -> Predictor.choose ~fix_first_on:p initial_predictor
+  in
+  let initial_mapping = initial_search.Search.mapping in
+  Log.info (fun m ->
+      m "[%s] initial mapping %s (predicted %.4f items/s, %d candidates scored)"
+        scenario.Scenario.name
+        (Mapping.to_string initial_mapping)
+        initial_search.Search.score initial_search.Search.evaluated);
+
+  (* Phase 3 & 4: execution with monitoring and adaptation. *)
+  let trace = Trace.create () in
+  let sim =
+    Skel_sim.create ~rng:sim_rng ~topo ~stages ~mapping:(Mapping.to_array initial_mapping)
+      ~input ~trace ()
+  in
+  let adopted_throughput = ref initial_search.Search.score in
+  let last_eval_time = ref 0.0 in
+  let last_eval_completed = ref 0 in
+  let evaluations = ref 0 in
+  let adaptation_count = ref 0 in
+  let evaluate () =
+    if Skel_sim.finished sim then false
+    else if Skel_sim.migrating sim then true (* let the move settle first *)
+    else begin
+      incr evaluations;
+      let now = Engine.now engine in
+      let completed = Skel_sim.items_completed sim in
+      let window = now -. !last_eval_time in
+      let observed =
+        if window <= 0.0 then 0.0
+        else Float.of_int (completed - !last_eval_completed) /. window
+      in
+      last_eval_time := now;
+      last_eval_completed := completed;
+      let spec = belief_spec () in
+      let predictor = Predictor.make ~kind:config.evaluator spec in
+      let current = Mapping.of_array ~processors:(Topology.size topo) (Skel_sim.mapping sim) in
+      let ctx =
+        {
+          Policy.time = now;
+          current;
+          predictor;
+          observed_throughput = observed;
+          adopted_throughput = !adopted_throughput;
+          items_remaining = Skel_sim.items_total sim - completed;
+          migration_stall =
+            (fun target -> Migration.stall_seconds config.migration ~spec ~stages ~current ~target);
+          choose_best =
+            (fun () ->
+              match config.fix_first_on with
+              | None -> Predictor.choose predictor
+              | Some p -> Predictor.choose ~fix_first_on:p predictor);
+        }
+      in
+      (match Policy.decide policy ctx with
+      | Policy.Keep ->
+          Log.debug (fun m ->
+              m "[%s] t=%.1f keep %s (observed %.3f, adopted %.3f)" scenario.Scenario.name now
+                (Mapping.to_string current) observed !adopted_throughput)
+      | Policy.Remap target ->
+          let stall = Migration.stall_seconds config.migration ~spec ~stages ~current ~target in
+          let gain = Predictor.evaluate predictor target -. Predictor.evaluate predictor current in
+          ignore (Skel_sim.remap sim (Mapping.to_array target));
+          incr adaptation_count;
+          Trace.record_adaptation trace
+            {
+              Trace.at = now;
+              mapping_before = Mapping.to_array current;
+              mapping_after = Mapping.to_array target;
+              predicted_gain = gain;
+              migration_cost = stall;
+            };
+          adopted_throughput := Predictor.evaluate predictor target;
+          Log.info (fun m ->
+              m "[%s] t=%.1f remap %s -> %s (gain %.3f items/s, stall %.2f s)"
+                scenario.Scenario.name now (Mapping.to_string current)
+                (Mapping.to_string target) gain stall));
+      true
+    end
+  in
+  Engine.periodic engine ~every:config.evaluate_every evaluate;
+  Skel_sim.run_to_completion sim;
+  let final_mapping =
+    Mapping.of_array ~processors:(Topology.size topo) (Skel_sim.mapping sim)
+  in
+  {
+    scenario_name = scenario.Scenario.name;
+    policy_name = Policy.name policy;
+    trace;
+    calibration;
+    initial_mapping;
+    final_mapping;
+    makespan = Trace.makespan trace;
+    throughput = Trace.throughput trace;
+    adaptation_count = !adaptation_count;
+    policy_evaluations = !evaluations;
+    monitor_samples = Monitor.samples_taken monitor;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>scenario %s, policy %s:@ initial %s -> final %s@ makespan %.2f s, throughput %.4f \
+     items/s@ %d adaptations over %d evaluations (%d monitor samples)@]"
+    r.scenario_name r.policy_name
+    (Mapping.to_string r.initial_mapping)
+    (Mapping.to_string r.final_mapping)
+    r.makespan r.throughput r.adaptation_count r.policy_evaluations r.monitor_samples

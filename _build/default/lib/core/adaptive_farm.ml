@@ -1,0 +1,146 @@
+module Engine = Aspipe_des.Engine
+module Rng = Aspipe_util.Rng
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Monitor = Aspipe_grid.Monitor
+module Trace = Aspipe_grid.Trace
+module Farm_sim = Aspipe_skel.Farm_sim
+module Farm_model = Aspipe_model.Farm_model
+
+let log_src = Logs.Src.create "aspipe.farm" ~doc:"Adaptive farm engine"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  dispatch : Farm_sim.dispatch;
+  monitor_every : float;
+  evaluate_every : float;
+  sensor : Monitor.sensor_spec;
+  probes : int;
+  measurement_noise : float;
+  min_gain : float;
+  adapt : bool;
+}
+
+let default_config =
+  {
+    dispatch = Farm_sim.Round_robin;
+    monitor_every = 5.0;
+    evaluate_every = 10.0;
+    sensor = Monitor.default_sensor;
+    probes = 5;
+    measurement_noise = 0.01;
+    min_gain = 0.1;
+    adapt = true;
+  }
+
+type report = {
+  scenario_name : string;
+  trace : Trace.t;
+  initial_workers : int list;
+  final_workers : int list;
+  worker_history : (float * int list) list;
+  makespan : float;
+  throughput : float;
+  reconfigurations : int;
+  monitor_samples : int;
+}
+
+let run ?(config = default_config) ~scenario ~seed () =
+  if Scenario.stage_count scenario <> 1 then
+    invalid_arg "Adaptive_farm.run: the scenario must have exactly one (farmed) stage";
+  let root_rng = Rng.create seed in
+  let env_rng = Rng.split root_rng in
+  let calib_rng = Rng.split root_rng in
+  let sim_rng = Rng.split root_rng in
+  let monitor_rng = Rng.split root_rng in
+  let topo = Scenario.build scenario ~rng:env_rng in
+  let engine = Topology.engine topo in
+  let task = scenario.Scenario.stages.(0) in
+  let all_nodes = List.init (Topology.size topo) Fun.id in
+
+  let calibration =
+    Calibration.run ~probes:config.probes ~measurement_noise:config.measurement_noise
+      ~rng:calib_rng scenario.Scenario.stages
+  in
+  let work = (Calibration.work_vector calibration).(0) in
+  let monitor =
+    Monitor.create ~sensor:config.sensor ~rng:monitor_rng ~every:config.monitor_every
+      ~horizon:scenario.Scenario.horizon topo
+  in
+  let model_from availability =
+    Farm_model.make ~work
+      ~node_rates:
+        (Array.init (Topology.size topo) (fun i ->
+             Node.base_speed (Topology.node topo i) *. availability i))
+  in
+  let initial_model =
+    model_from (fun i -> Node.availability (Topology.node topo i))
+  in
+  let initial_workers, initial_score =
+    match config.dispatch with
+    | Farm_sim.Round_robin -> Farm_model.best_round_robin_set initial_model ~candidates:all_nodes
+    | Farm_sim.Least_loaded ->
+        (all_nodes, Farm_model.proportional_throughput initial_model ~workers:all_nodes)
+  in
+  let trace = Trace.create () in
+  let farm =
+    Farm_sim.create ~rng:sim_rng ~topo ~task ~workers:initial_workers ~dispatch:config.dispatch
+      ~input:scenario.Scenario.input ~trace ()
+  in
+  let adopted_score = ref initial_score in
+  let history = ref [] in
+  let reconfigurations = ref 0 in
+  if config.adapt then
+    Engine.periodic engine ~every:config.evaluate_every (fun () ->
+        if Farm_sim.finished farm then false
+        else begin
+          let model = model_from (Monitor.node_forecast monitor) in
+          let current = Farm_sim.workers farm in
+          let candidate, score =
+            match config.dispatch with
+            | Farm_sim.Round_robin -> Farm_model.best_round_robin_set model ~candidates:all_nodes
+            | Farm_sim.Least_loaded ->
+                (all_nodes, Farm_model.proportional_throughput model ~workers:all_nodes)
+          in
+          let current_score =
+            match config.dispatch with
+            | Farm_sim.Round_robin -> Farm_model.round_robin_throughput model ~workers:current
+            | Farm_sim.Least_loaded -> Farm_model.proportional_throughput model ~workers:current
+          in
+          if candidate <> current && score > current_score *. (1.0 +. config.min_gain) then begin
+            Farm_sim.set_workers farm candidate;
+            incr reconfigurations;
+            history := (Engine.now engine, candidate) :: !history;
+            adopted_score := score;
+            Log.info (fun m ->
+                m "[%s] t=%.1f worker set {%s} -> {%s} (predicted %.2f -> %.2f items/s)"
+                  scenario.Scenario.name (Engine.now engine)
+                  (String.concat "," (List.map string_of_int current))
+                  (String.concat "," (List.map string_of_int candidate))
+                  current_score score)
+          end;
+          true
+        end);
+  Farm_sim.run_to_completion farm;
+  {
+    scenario_name = scenario.Scenario.name;
+    trace;
+    initial_workers;
+    final_workers = Farm_sim.workers farm;
+    worker_history = List.rev !history;
+    makespan = Trace.makespan trace;
+    throughput = Trace.throughput trace;
+    reconfigurations = !reconfigurations;
+    monitor_samples = Monitor.samples_taken monitor;
+  }
+
+let pp_workers ppf ws =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int ws))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>farm on %s: workers %a -> %a@ makespan %.2f s, throughput %.4f items/s, %d \
+     reconfiguration(s)@]"
+    r.scenario_name pp_workers r.initial_workers pp_workers r.final_workers r.makespan
+    r.throughput r.reconfigurations

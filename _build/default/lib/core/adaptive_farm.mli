@@ -1,0 +1,43 @@
+(** The adaptive task farm: stage replication with a run-time-managed worker
+    set — the replication counterpart of {!Adaptive}.
+
+    A round-robin deal is only as fast as its slowest member, so on a
+    non-dedicated grid the right worker set changes with the background load:
+    when a node degrades, evicting it {e raises} farm throughput; when it
+    recovers, re-admitting it raises it again. The engine calibrates the
+    task, reads the monitors, and periodically re-selects the
+    {!Aspipe_model.Farm_model.best_round_robin_set} under current forecasts,
+    reconfiguring the live farm when the predicted gain clears [min_gain]. *)
+
+type config = {
+  dispatch : Aspipe_skel.Farm_sim.dispatch;
+  monitor_every : float;
+  evaluate_every : float;
+  sensor : Aspipe_grid.Monitor.sensor_spec;
+  probes : int;
+  measurement_noise : float;
+  min_gain : float;  (** relative predicted-throughput gain to reconfigure *)
+  adapt : bool;  (** [false] = static farm with the initial worker set *)
+}
+
+val default_config : config
+(** round-robin, monitor 5 s / evaluate 10 s, default sensor, 5 probes,
+    1% noise, 10% min gain, adaptation on. *)
+
+type report = {
+  scenario_name : string;
+  trace : Aspipe_grid.Trace.t;
+  initial_workers : int list;
+  final_workers : int list;
+  worker_history : (float * int list) list;  (** reconfigurations, in time order *)
+  makespan : float;
+  throughput : float;
+  reconfigurations : int;
+  monitor_samples : int;
+}
+
+val run : ?config:config -> scenario:Scenario.t -> seed:int -> unit -> report
+(** The scenario must have exactly one stage (the farmed task); raises
+    [Invalid_argument] otherwise. Deterministic in [(scenario, config, seed)]. *)
+
+val pp_report : Format.formatter -> report -> unit

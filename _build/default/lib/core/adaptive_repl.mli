@@ -1,0 +1,41 @@
+(** Adaptive stage replication: the pipeline with farmed stages, re-shaping
+    its replica sets at run time.
+
+    Where {!Adaptive} moves whole stages between processors, this engine
+    treats every stage as a (possibly singleton) farm and periodically
+    re-derives the best replica allocation for a fixed node budget from the
+    monitors' forecasts ({!Aspipe_model.Repl_model.best_replication} over
+    forecast-scaled rates). If a replica node degrades, the next allocation
+    routes around it; if it recovers, it is re-admitted. Replica changes are
+    cheap (the deal is demand-driven and stateless), so the gain threshold is
+    the only brake. *)
+
+type config = {
+  monitor_every : float;
+  evaluate_every : float;
+  sensor : Aspipe_grid.Monitor.sensor_spec;
+  probes : int;
+  measurement_noise : float;
+  min_gain : float;
+  budget : int option;  (** replica budget; default = number of nodes *)
+  adapt : bool;
+}
+
+val default_config : config
+
+type report = {
+  scenario_name : string;
+  trace : Aspipe_grid.Trace.t;
+  initial_replicas : int list array;
+  final_replicas : int list array;
+  makespan : float;
+  throughput : float;
+  reconfigurations : int;
+  monitor_samples : int;
+}
+
+val run : ?config:config -> scenario:Scenario.t -> seed:int -> unit -> report
+(** Requires at least as many nodes as stages (each stage needs one replica).
+    Deterministic in [(scenario, config, seed)]. *)
+
+val pp_report : Format.formatter -> report -> unit

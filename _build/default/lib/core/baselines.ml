@@ -1,0 +1,119 @@
+module Rng = Aspipe_util.Rng
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Monitor = Aspipe_grid.Monitor
+module Trace = Aspipe_grid.Trace
+module Skel_sim = Aspipe_skel.Skel_sim
+module Stage = Aspipe_skel.Stage
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Predictor = Aspipe_model.Predictor
+module Search = Aspipe_model.Search
+
+type outcome = {
+  label : string;
+  mapping : Mapping.t;
+  trace : Trace.t;
+  makespan : float;
+  throughput : float;
+}
+
+(* Mirror Adaptive.run's rng-splitting order so the world and the per-item
+   work draws are bit-identical across strategies for a given seed. *)
+let split_rngs seed =
+  let root = Rng.create seed in
+  let env = Rng.split root in
+  let _calib = Rng.split root in
+  let sim = Rng.split root in
+  (env, sim)
+
+let run_static ~label ~mapping ~scenario ~seed =
+  let env_rng, sim_rng = split_rngs seed in
+  let topo = Scenario.build scenario ~rng:env_rng in
+  let mapping = Mapping.of_array ~processors:(Topology.size topo) mapping in
+  let trace = Trace.create () in
+  let sim =
+    Skel_sim.create ~rng:sim_rng ~topo ~stages:scenario.Scenario.stages
+      ~mapping:(Mapping.to_array mapping) ~input:scenario.Scenario.input ~trace ()
+  in
+  Skel_sim.run_to_completion sim;
+  { label; mapping; trace; makespan = Trace.makespan trace; throughput = Trace.throughput trace }
+
+let dims scenario ~seed =
+  (* Probe the topology size without disturbing the run seeds. *)
+  let rng = Rng.create (seed + 0x5eed) in
+  let topo = Scenario.build scenario ~rng in
+  Topology.size topo
+
+let static_round_robin ~scenario ~seed =
+  let processors = dims scenario ~seed in
+  let m = Mapping.round_robin ~stages:(Scenario.stage_count scenario) ~processors in
+  run_static ~label:"static-round-robin" ~mapping:(Mapping.to_array m) ~scenario ~seed
+
+let static_blocks ~scenario ~seed =
+  let processors = dims scenario ~seed in
+  let m = Mapping.blocks ~stages:(Scenario.stage_count scenario) ~processors in
+  run_static ~label:"static-blocks" ~mapping:(Mapping.to_array m) ~scenario ~seed
+
+let static_single_node ~scenario ~seed =
+  let processors = dims scenario ~seed in
+  let m = Mapping.all_on ~stages:(Scenario.stage_count scenario) ~processor:0 ~processors in
+  run_static ~label:"static-single-node" ~mapping:(Mapping.to_array m) ~scenario ~seed
+
+let static_random ~scenario ~seed =
+  let processors = dims scenario ~seed in
+  let rng = Rng.create (seed * 7919) in
+  let m = Mapping.random rng ~stages:(Scenario.stage_count scenario) ~processors in
+  run_static ~label:"static-random" ~mapping:(Mapping.to_array m) ~scenario ~seed
+
+let ground_truth_spec scenario topo =
+  Costspec.of_topology
+    ~availability:(fun i -> Node.availability (Topology.node topo i))
+    ~topo ~stages:scenario.Scenario.stages ~input:scenario.Scenario.input ()
+
+let static_model_best ?(kind = Predictor.Analytic) ~scenario ~seed () =
+  (* Choose on a throwaway environment (identical world), then execute. *)
+  let env_rng, _ = split_rngs seed in
+  let topo = Scenario.build scenario ~rng:env_rng in
+  let predictor = Predictor.make ~kind (ground_truth_spec scenario topo) in
+  let result = Predictor.choose predictor in
+  run_static ~label:"static-model-best"
+    ~mapping:(Mapping.to_array result.Search.mapping)
+    ~scenario ~seed
+
+let oracle_static ?(limit = 4096) ?fix_first_on ~scenario ~seed () =
+  let processors = dims scenario ~seed in
+  let stages = Scenario.stage_count scenario in
+  let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
+  let space = Float.of_int processors ** Float.of_int free in
+  if space > Float.of_int limit then
+    invalid_arg "Baselines.oracle_static: assignment space too large";
+  let candidates = Mapping.enumerate ?fix_first_on ~stages ~processors () in
+  let results =
+    List.map
+      (fun m ->
+        let o = run_static ~label:"oracle-probe" ~mapping:(Mapping.to_array m) ~scenario ~seed in
+        (Mapping.to_array m, o.makespan))
+      candidates
+  in
+  let best_mapping, _ =
+    List.fold_left
+      (fun ((_, bt) as best) ((_, t) as cand) -> if t < bt then cand else best)
+      (List.hd results) (List.tl results)
+  in
+  let best = run_static ~label:"oracle-static" ~mapping:best_mapping ~scenario ~seed in
+  (best, results)
+
+let clairvoyant ~scenario ~seed =
+  let config =
+    {
+      Adaptive.default_config with
+      policy = (fun () -> Policy.always_best ());
+      sensor = Monitor.perfect_sensor;
+      monitor_every = 2.0;
+      evaluate_every = 5.0;
+      probes = 50;
+      measurement_noise = 0.0;
+    }
+  in
+  Adaptive.run ~config ~scenario ~seed ()

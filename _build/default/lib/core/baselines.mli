@@ -1,0 +1,50 @@
+(** The comparison points every adaptive-pattern experiment needs.
+
+    All baselines run in a world rebuilt from the same [(scenario, seed)]
+    pair the adaptive run used — identical load events, identical per-item
+    work draws — so differences in outcome are attributable to the mapping
+    strategy alone. *)
+
+type outcome = {
+  label : string;
+  mapping : Aspipe_model.Mapping.t;  (** the static assignment used *)
+  trace : Aspipe_grid.Trace.t;
+  makespan : float;
+  throughput : float;
+}
+
+val run_static :
+  label:string -> mapping:int array -> scenario:Scenario.t -> seed:int -> outcome
+(** Execute the pipeline with a fixed mapping, no adaptation. *)
+
+val static_round_robin : scenario:Scenario.t -> seed:int -> outcome
+val static_blocks : scenario:Scenario.t -> seed:int -> outcome
+val static_single_node : scenario:Scenario.t -> seed:int -> outcome
+(** Everything on node 0. *)
+
+val static_random : scenario:Scenario.t -> seed:int -> outcome
+(** A uniformly random assignment (derived from [seed]). *)
+
+val static_model_best :
+  ?kind:Aspipe_model.Predictor.kind -> scenario:Scenario.t -> seed:int -> unit -> outcome
+(** The mapping the performance model picks from ground truth at t = 0 and
+    true stage means — the best non-clairvoyant static schedule available. *)
+
+val oracle_static :
+  ?limit:int ->
+  ?fix_first_on:int ->
+  scenario:Scenario.t ->
+  seed:int ->
+  unit ->
+  outcome * (int array * float) list
+(** Simulate {e every} mapping of the (bounded) assignment space in the
+    identical world and return the one with the smallest makespan, plus all
+    per-mapping makespans. [fix_first_on] pins stage 0's processor (use it
+    when the input data's location is fixed, as in the paper's tables).
+    Raises [Invalid_argument] if the space exceeds [limit] (default 4096)
+    candidates. This is the true static optimum. *)
+
+val clairvoyant : scenario:Scenario.t -> seed:int -> Adaptive.report
+(** The adaptive engine with perfect sensors, dense monitoring, noise-free
+    calibration and an eager policy — the practical upper bound on what
+    adaptation can deliver. *)

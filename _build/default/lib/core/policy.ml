@@ -1,0 +1,70 @@
+module Mapping = Aspipe_model.Mapping
+module Predictor = Aspipe_model.Predictor
+module Search = Aspipe_model.Search
+
+type context = {
+  time : float;
+  current : Mapping.t;
+  predictor : Predictor.t;
+  observed_throughput : float;
+  adopted_throughput : float;
+  items_remaining : int;
+  migration_stall : Mapping.t -> float;
+  choose_best : unit -> Search.result;
+}
+
+type decision = Keep | Remap of Mapping.t
+
+type t = { name : string; decide : context -> decision }
+
+let name t = t.name
+let decide t ctx = t.decide ctx
+
+let never () = { name = "never"; decide = (fun _ -> Keep) }
+
+(* Shared gain/amortization test: switch to the search's winner only if the
+   relative improvement clears [min_gain] and the time saved on the items
+   still to flow exceeds the migration stall. *)
+let consider_switch ~min_gain ctx =
+  let result = ctx.choose_best () in
+  let candidate = result.Search.mapping in
+  if Mapping.equal candidate ctx.current then Keep
+  else begin
+    let current_rate = Predictor.evaluate ctx.predictor ctx.current in
+    let candidate_rate = result.Search.score in
+    if current_rate <= 0.0 then Remap candidate
+    else begin
+      let gain = (candidate_rate -. current_rate) /. current_rate in
+      if gain <= min_gain then Keep
+      else begin
+        let remaining = Float.of_int ctx.items_remaining in
+        let saved = remaining *. ((1.0 /. current_rate) -. (1.0 /. candidate_rate)) in
+        if saved > ctx.migration_stall candidate then Remap candidate else Keep
+      end
+    end
+  end
+
+let periodic_best ?(min_gain = 0.1) () =
+  { name = "periodic"; decide = (fun ctx -> consider_switch ~min_gain ctx) }
+
+let threshold ?(drop = 0.25) ?(min_gain = 0.1) ?(cooldown = 30.0) () =
+  let last_adaptation = ref neg_infinity in
+  let decide ctx =
+    let in_cooldown = ctx.time -. !last_adaptation < cooldown in
+    let degraded =
+      ctx.adopted_throughput > 0.0
+      && ctx.observed_throughput < (1.0 -. drop) *. ctx.adopted_throughput
+    in
+    if in_cooldown || not degraded then Keep
+    else begin
+      match consider_switch ~min_gain ctx with
+      | Keep -> Keep
+      | Remap m ->
+          last_adaptation := ctx.time;
+          Remap m
+    end
+  in
+  { name = "threshold"; decide }
+
+let always_best () =
+  { name = "always_best"; decide = (fun ctx -> consider_switch ~min_gain:0.01 ctx) }

@@ -1,0 +1,51 @@
+(** Adaptation policies: when (and to what) the running pipeline re-maps.
+
+    At every evaluation epoch the engine hands the policy a {!context} built
+    from monitor forecasts and the execution trace; the policy answers
+    {!decision}. Policies are values carrying their own state (cool-down
+    clocks etc.), so distinct runs need distinct policy values — obtain them
+    from the constructors below. *)
+
+type context = {
+  time : float;  (** current virtual time *)
+  current : Aspipe_model.Mapping.t;
+  predictor : Aspipe_model.Predictor.t;
+      (** built from the freshest forecasts and calibrated work *)
+  observed_throughput : float;  (** items/s over the last evaluation window *)
+  adopted_throughput : float;
+      (** what the model promised when the current mapping was adopted *)
+  items_remaining : int;
+  migration_stall : Aspipe_model.Mapping.t -> float;
+      (** estimated stall (s) of switching to a candidate now *)
+  choose_best : unit -> Aspipe_model.Search.result;
+      (** run the mapping search under current beliefs *)
+}
+
+type decision = Keep | Remap of Aspipe_model.Mapping.t
+
+type t
+
+val name : t -> string
+val decide : t -> context -> decision
+
+val never : unit -> t
+(** The non-adaptive pipeline: always [Keep]. *)
+
+val periodic_best : ?min_gain:float -> unit -> t
+(** At every epoch, search for the best mapping under current beliefs and
+    switch when its predicted throughput exceeds the current mapping's by
+    more than [min_gain] (relative, default 0.1) {e and} the predicted time
+    saved on the remaining items amortizes the migration stall. *)
+
+val threshold :
+  ?drop:float -> ?min_gain:float -> ?cooldown:float -> unit -> t
+(** The paper-style trigger: only search when the observed throughput has
+    dropped below [(1 − drop)] of the adopted expectation (default
+    [drop = 0.25]), then apply the same gain/amortization test as
+    {!periodic_best}; after an adaptation, sleep [cooldown] seconds
+    (default 30) to avoid thrashing on monitor noise. *)
+
+val always_best : unit -> t
+(** Greedy oracle-style policy: switch whenever the search finds anything
+    better that amortizes (min_gain = 0.01). Used as the clairvoyant upper
+    bound when paired with perfect sensors. *)

@@ -1,0 +1,36 @@
+(** A reproducible experimental setting: topology recipe, background-load
+    profiles, pipeline stages, input stream and time horizon.
+
+    Scenarios are values; {!build} instantiates a fresh simulation
+    environment (its own engine, nodes, links, scheduled load events) so that
+    every run — adaptive, static, oracle, repeated seeds — starts from an
+    identical world. *)
+
+type t = {
+  name : string;
+  make_topo : Aspipe_des.Engine.t -> Aspipe_grid.Topology.t;
+  loads : (int * Aspipe_grid.Loadgen.profile) list;
+      (** per-node background-load profiles *)
+  net_loads : ((int * int) * Aspipe_grid.Loadgen.profile) list;
+      (** per-node-pair link-quality profiles (both directions) *)
+  stages : Aspipe_skel.Stage.t array;
+  input : Aspipe_skel.Stream_spec.t;
+  horizon : float;  (** when self-rescheduling generators and monitors stop *)
+}
+
+val make :
+  name:string ->
+  make_topo:(Aspipe_des.Engine.t -> Aspipe_grid.Topology.t) ->
+  ?loads:(int * Aspipe_grid.Loadgen.profile) list ->
+  ?net_loads:((int * int) * Aspipe_grid.Loadgen.profile) list ->
+  stages:Aspipe_skel.Stage.t array ->
+  input:Aspipe_skel.Stream_spec.t ->
+  ?horizon:float ->
+  unit ->
+  t
+(** Defaults: no loads or net loads, horizon 1e6 s. *)
+
+val build : t -> rng:Aspipe_util.Rng.t -> Aspipe_grid.Topology.t
+(** Fresh engine + topology with all load profiles scheduled. *)
+
+val stage_count : t -> int

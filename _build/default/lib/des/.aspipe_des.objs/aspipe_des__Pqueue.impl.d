@@ -1,0 +1,1 @@
+lib/des/pqueue.ml: Array

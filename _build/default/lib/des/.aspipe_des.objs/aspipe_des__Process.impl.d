@@ -1,0 +1,1 @@
+lib/des/process.ml: Effect Engine Printf Queue

@@ -1,0 +1,1 @@
+lib/des/server.ml: Engine Float Queue Signal

@@ -1,0 +1,1 @@
+lib/des/server.mli: Engine Signal

@@ -1,0 +1,1 @@
+lib/des/signal.ml: Aspipe_util Engine List

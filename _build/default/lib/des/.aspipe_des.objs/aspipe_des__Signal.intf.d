@@ -1,0 +1,1 @@
+lib/des/signal.mli: Aspipe_util Engine

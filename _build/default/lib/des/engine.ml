@@ -1,0 +1,54 @@
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable fired : int;
+}
+
+type handle = Pqueue.handle
+
+let create () = { queue = Pqueue.create (); clock = 0.0; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Pqueue.insert t.queue time f
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: delay must be finite and non-negative";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel = Pqueue.cancel
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.fired <- t.fired + 1;
+      f ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let rec loop () =
+        match Pqueue.peek_key t.queue with
+        | Some key when key <= horizon ->
+            ignore (step t);
+            loop ()
+        | Some _ | None -> if t.clock < horizon then t.clock <- horizon
+      in
+      loop ()
+
+let events_fired t = t.fired
+let pending t = Pqueue.size t.queue
+
+let periodic t ?start ~every f =
+  if every <= 0.0 then invalid_arg "Engine.periodic: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. every in
+  let rec tick () = if f () then ignore (schedule t ~delay:every tick) in
+  ignore (schedule_at t ~time:first tick)

@@ -1,0 +1,41 @@
+(** The discrete-event simulation engine.
+
+    A single-threaded event loop over a virtual clock. All grid components
+    (nodes, links, load generators, monitors, the adaptive engine itself)
+    schedule callbacks here; the loop fires them in timestamp order, ties
+    broken by scheduling order, so runs are fully deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds; starts at 0. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    Raises [Invalid_argument] if [delay < 0] or is not finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] fires [f] at absolute [time] (must be ≥ [now t]). *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; firing a cancelled handle is a no-op.
+    Idempotent, and safe on already-fired events. *)
+
+val step : t -> bool
+(** Fire the next event; [false] if none remain. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] drains the event queue. With [~until], stops once the next event
+    is strictly later than [until] and advances the clock to [until]. *)
+
+val events_fired : t -> int
+val pending : t -> int
+
+val periodic : t -> ?start:float -> every:float -> (unit -> bool) -> unit
+(** [periodic t ~every f] fires [f] at [start] (default [now + every]) and
+    then every [every] seconds for as long as [f] returns [true]. *)

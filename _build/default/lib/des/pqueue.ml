@@ -1,0 +1,118 @@
+type handle = { mutable dead : bool }
+
+type 'a entry = { key : float; seq : int; value : 'a; handle : handle }
+
+type 'a t = {
+  mutable heap : 'a entry array option;
+  (* [heap] is [Some a] where [a.(0 .. used-1)] is a binary min-heap. We keep
+     the array behind an option so [create] needs no dummy element. *)
+  mutable used : int;
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = None; used = 0; live = 0; next_seq = 0 }
+
+let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q entry =
+  match q.heap with
+  | None -> q.heap <- Some (Array.make 16 entry)
+  | Some a ->
+      if q.used = Array.length a then q.heap <- Some (Array.append a (Array.make (Array.length a) entry))
+
+let sift_up a i =
+  let item = a.(i) in
+  let rec climb i =
+    if i = 0 then i
+    else begin
+      let parent = (i - 1) / 2 in
+      if entry_lt item a.(parent) then begin
+        a.(i) <- a.(parent);
+        climb parent
+      end
+      else i
+    end
+  in
+  a.(climb i) <- item
+
+let sift_down a used i =
+  let item = a.(i) in
+  let rec descend i =
+    let left = (2 * i) + 1 in
+    if left >= used then i
+    else begin
+      let smallest = if left + 1 < used && entry_lt a.(left + 1) a.(left) then left + 1 else left in
+      if entry_lt a.(smallest) item then begin
+        a.(i) <- a.(smallest);
+        descend smallest
+      end
+      else i
+    end
+  in
+  a.(descend i) <- item
+
+let insert q key value =
+  let handle = { dead = false } in
+  let entry = { key; seq = q.next_seq; value; handle } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  let a = match q.heap with Some a -> a | None -> assert false in
+  a.(q.used) <- entry;
+  sift_up a q.used;
+  q.used <- q.used + 1;
+  q.live <- q.live + 1;
+  handle
+
+let cancel h = h.dead <- true
+
+let cancelled h = h.dead
+
+(* Remove the root and restore the heap property. *)
+let remove_root q a =
+  q.used <- q.used - 1;
+  if q.used > 0 then begin
+    a.(0) <- a.(q.used);
+    sift_down a q.used 0
+  end
+
+let rec pop q =
+  match q.heap with
+  | None -> None
+  | Some a ->
+      if q.used = 0 then None
+      else begin
+        let root = a.(0) in
+        remove_root q a;
+        if root.handle.dead then pop q
+        else begin
+          q.live <- q.live - 1;
+          Some (root.key, root.value)
+        end
+      end
+
+let rec peek_key q =
+  match q.heap with
+  | None -> None
+  | Some a ->
+      if q.used = 0 then None
+      else if a.(0).handle.dead then begin
+        remove_root q a;
+        peek_key q
+      end
+      else Some a.(0).key
+
+let size q =
+  (* [live] counts cancellations immediately, including entries still
+     physically present in the array. *)
+  let count = ref 0 in
+  (match q.heap with
+  | None -> ()
+  | Some a ->
+      for i = 0 to q.used - 1 do
+        if not a.(i).handle.dead then incr count
+      done);
+  q.live <- !count;
+  !count
+
+let is_empty q = size q = 0

@@ -1,0 +1,32 @@
+(** Priority queue of timestamped entries with O(log n) insert/pop and O(1)
+    cancellation (lazy deletion), the core data structure of the event loop.
+
+    Ties on the key are broken by insertion order, so the simulation is
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+type handle
+(** A token identifying an inserted entry; used to cancel it. *)
+
+val create : unit -> 'a t
+
+val insert : 'a t -> float -> 'a -> handle
+(** [insert q key v] adds [v] with priority [key] (smaller pops first). *)
+
+val cancel : handle -> unit
+(** [cancel h] removes the entry lazily; idempotent. *)
+
+val cancelled : handle -> bool
+
+val pop : 'a t -> (float * 'a) option
+(** [pop q] removes and returns the minimum live entry, or [None] if empty. *)
+
+val peek_key : 'a t -> float option
+(** Key of the next live entry without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool

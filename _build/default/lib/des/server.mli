@@ -1,0 +1,37 @@
+(** A rate-modulated, FCFS, single-capacity server.
+
+    This models one grid processor: jobs carry an amount of abstract work and
+    are served one at a time in arrival order; the instantaneous service rate
+    (work units per second) is a {!Signal.t}, so when background load changes
+    mid-service the completion time of the in-flight job is re-derived from
+    its remaining work — service progress integrates the piecewise-constant
+    rate signal exactly. A rate of zero stalls the server (the job stays,
+    no completion event is pending) until the rate becomes positive again. *)
+
+type t
+
+val create : Engine.t -> name:string -> rate:Signal.t -> t
+(** The server subscribes to [rate]; the signal may be shared. *)
+
+val name : t -> string
+
+val submit :
+  t -> work:float -> ?tag:int -> ?on_start:(unit -> unit) -> (unit -> unit) -> unit
+(** [submit t ~work k] enqueues a job of [work] units; [k] runs at the
+    simulated instant the job completes, and [on_start] (if given) at the
+    instant the job enters service. Raises [Invalid_argument] if
+    [work < 0] or not finite. *)
+
+val queue_length : t -> int
+(** Jobs waiting, excluding the one in service. *)
+
+val busy : t -> bool
+val completed : t -> int
+
+val in_service_remaining : t -> float
+(** Remaining work of the job in service as of the current instant
+    (0 when idle). *)
+
+val utilization : t -> float
+(** Fraction of elapsed simulation time this server spent with a job in
+    service (including stalled intervals); [0] at time 0. *)

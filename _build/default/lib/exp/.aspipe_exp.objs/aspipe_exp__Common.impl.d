@@ -1,0 +1,1 @@
+lib/exp/common.ml: Array Aspipe_core Aspipe_grid Aspipe_skel Aspipe_util Float Fun

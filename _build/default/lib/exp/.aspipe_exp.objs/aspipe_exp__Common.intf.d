@@ -1,0 +1,1 @@
+lib/exp/common.mli: Aspipe_core Aspipe_des Aspipe_grid Aspipe_skel

@@ -1,0 +1,1 @@
+lib/exp/exp_adaptation.ml: Array Aspipe_core Aspipe_grid Aspipe_skel Aspipe_util Common Float List Printf

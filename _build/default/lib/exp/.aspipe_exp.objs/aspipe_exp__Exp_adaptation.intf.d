@@ -1,0 +1,1 @@
+lib/exp/exp_adaptation.mli: Aspipe_core

@@ -1,0 +1,1 @@
+lib/exp/exp_campaign.ml: Aspipe_core Aspipe_grid Aspipe_skel Aspipe_util Aspipe_workload Common Float List Printf

@@ -1,0 +1,1 @@
+lib/exp/exp_farm.ml: Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Common Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/exp/exp_forecast.ml: Array Aspipe_util Float List Printf

@@ -1,0 +1,1 @@
+lib/exp/exp_mc.ml: Array Aspipe_model Aspipe_skel Aspipe_util Aspipe_workload Float List Printf Unix

@@ -1,0 +1,1 @@
+lib/exp/exp_model.ml: Array Aspipe_core Aspipe_des Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Common List Printf String

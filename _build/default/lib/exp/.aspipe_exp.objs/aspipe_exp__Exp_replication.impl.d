@@ -1,0 +1,1 @@
+lib/exp/exp_replication.ml: Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Aspipe_workload Common Float List Printf String

@@ -1,0 +1,1 @@
+lib/exp/exp_scale.ml: Array Aspipe_core Aspipe_model Aspipe_skel Aspipe_util Common Float List Printf Unix

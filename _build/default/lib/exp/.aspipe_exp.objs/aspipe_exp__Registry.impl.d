@@ -1,0 +1,1 @@
+lib/exp/registry.ml: Exp_ablation Exp_adaptation Exp_campaign Exp_farm Exp_forecast Exp_mc Exp_model Exp_multisite Exp_network Exp_policy Exp_replication Exp_scale List Printf String

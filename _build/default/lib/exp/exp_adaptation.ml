@@ -1,0 +1,287 @@
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+module Variate = Aspipe_util.Variate
+module Render = Aspipe_util.Render
+module Trace = Aspipe_grid.Trace
+module Loadgen = Aspipe_grid.Loadgen
+module Monitor = Aspipe_grid.Monitor
+module Scenario = Aspipe_core.Scenario
+module Adaptive = Aspipe_core.Adaptive
+module Policy = Aspipe_core.Policy
+module Baselines = Aspipe_core.Baselines
+module Migration = Aspipe_core.Migration
+
+let seed = 7
+
+(* ------------------------------------------------------------------ E3 *)
+
+let load_step_scenario ~quick ?(state_bytes = 2e6) ?(step_level = 0.2) () =
+  let items = Common.scale ~quick 1500 in
+  (* The step lands 40% into the nominal run so quick runs see it too. *)
+  let step_at = 0.25 *. Float.of_int items *. 0.4 in
+  let stages =
+    Array.init 4 (fun i ->
+        Stage.make
+          ~name:(Printf.sprintf "ls%d" i)
+          ~output_bytes:1e4 ~state_bytes
+          ~work:(Variate.Constant 1.0)
+          ())
+  in
+  Scenario.make ~name:"load-step"
+    ~make_topo:(Common.heterogeneous_grid ~speeds:[| 12.0; 10.0; 10.0 |] ())
+    ~loads:[ (0, Loadgen.Step { at = step_at; level = step_level }) ]
+    ~stages
+    ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.25) ~item_bytes:1e4 ~items ())
+    ~horizon:1e5 ()
+
+type e3_result = {
+  label : string;
+  series : (float * float) array;
+  makespan : float;
+  adaptations : int;
+}
+
+let window = 20.0
+
+let e3_results ~quick =
+  let scenario = load_step_scenario ~quick () in
+  let static = Baselines.static_model_best ~scenario ~seed () in
+  let adaptive = Adaptive.run ~scenario ~seed () in
+  let clair = Baselines.clairvoyant ~scenario ~seed in
+  [
+    {
+      label = "static (model best at t=0)";
+      series = Trace.throughput_series static.Baselines.trace ~window;
+      makespan = static.Baselines.makespan;
+      adaptations = 0;
+    };
+    {
+      label = "adaptive (threshold policy)";
+      series = Trace.throughput_series adaptive.Adaptive.trace ~window;
+      makespan = adaptive.Adaptive.makespan;
+      adaptations = adaptive.Adaptive.adaptation_count;
+    };
+    {
+      label = "clairvoyant";
+      series = Trace.throughput_series clair.Adaptive.trace ~window;
+      makespan = clair.Adaptive.makespan;
+      adaptations = clair.Adaptive.adaptation_count;
+    };
+  ]
+
+let run_e3 ~quick =
+  let results = e3_results ~quick in
+  Render.print_figure ~title:"E3: throughput timeline, availability step at t=150s"
+    ~x_label:"time (s)" ~y_label:"items/s"
+    (List.map (fun r -> Render.Series.make r.label r.series) results);
+  List.iter
+    (fun r -> Printf.printf "%-32s makespan %8.1f s, %d adaptation(s)\n" r.label r.makespan r.adaptations)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ E4 *)
+
+type e4_point = { severity : float; static_blind : float; static_informed : float;
+                  adaptive : float; clairvoyant : float }
+
+let e4_scenario ~quick ~severity =
+  let items = Common.scale ~quick 400 in
+  Scenario.make
+    ~name:(Printf.sprintf "hidden-load-%g" severity)
+    ~make_topo:(Common.uniform_grid ~n:4 ())
+    ~loads:[ (0, Loadgen.Constant (1.0 /. severity)) ]
+    ~stages:(Stage.balanced ~n:6 ~work:1.0 ())
+    ~input:(Common.batch_input ~items ())
+    ()
+
+let blind_config =
+  { Adaptive.default_config with initial_resource_reading = false }
+
+let e4_points ~quick =
+  List.map
+    (fun severity ->
+      let scenario = e4_scenario ~quick ~severity in
+      let blind = Baselines.static_round_robin ~scenario ~seed in
+      let informed = Baselines.static_model_best ~scenario ~seed () in
+      let adaptive = Adaptive.run ~config:blind_config ~scenario ~seed () in
+      let clair = Baselines.clairvoyant ~scenario ~seed in
+      {
+        severity;
+        static_blind = blind.Baselines.makespan;
+        static_informed = informed.Baselines.makespan;
+        adaptive = adaptive.Adaptive.makespan;
+        clairvoyant = clair.Adaptive.makespan;
+      })
+    [ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+
+let run_e4 ~quick =
+  let points = e4_points ~quick in
+  let series f = Array.of_list (List.map (fun p -> (p.severity, f p)) points) in
+  Render.print_figure
+    ~title:"E4: completion time vs hidden load severity on node 0 (6 stages, 4 nodes)"
+    ~x_label:"severity k (node 0 at 1/k)" ~y_label:"makespan (s)"
+    [
+      Render.Series.make "static-blind (round robin)" (series (fun p -> p.static_blind));
+      Render.Series.make "static-informed (model)" (series (fun p -> p.static_informed));
+      Render.Series.make "adaptive (blind start)" (series (fun p -> p.adaptive));
+      Render.Series.make "clairvoyant" (series (fun p -> p.clairvoyant));
+    ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ E7 *)
+
+type e7_cell = {
+  monitor_every : float;
+  drop : float;
+  completion : float;
+  migrations : int;
+}
+
+let e7_cells ~quick =
+  (* A milder step (to 55% availability) than E3's: the observed throughput
+     drops to roughly 0.55 of the adopted expectation, so the three drop
+     thresholds genuinely separate — 0.1 and 0.25 fire, 0.5 does not. *)
+  let scenario = load_step_scenario ~quick ~step_level:0.55 () in
+  List.concat_map
+    (fun monitor_every ->
+      List.map
+        (fun drop ->
+          let config =
+            {
+              Adaptive.default_config with
+              monitor_every;
+              evaluate_every = Float.max 5.0 monitor_every;
+              policy = (fun () -> Policy.threshold ~drop ());
+            }
+          in
+          let report = Adaptive.run ~config ~scenario ~seed () in
+          {
+            monitor_every;
+            drop;
+            completion = report.Adaptive.makespan;
+            migrations = report.Adaptive.adaptation_count;
+          })
+        [ 0.1; 0.25; 0.5 ])
+    [ 2.0; 10.0; 30.0 ]
+
+type e7_sensor_cell = {
+  dropout : float;
+  noise : float;
+  completion : float;
+  migrations : int;
+}
+
+let e7_sensor_cells ~quick =
+  let scenario = load_step_scenario ~quick () in
+  List.map
+    (fun (dropout, noise) ->
+      let config =
+        {
+          Adaptive.default_config with
+          sensor = { Monitor.noise; dropout };
+        }
+      in
+      let report = Adaptive.run ~config ~scenario ~seed () in
+      {
+        dropout;
+        noise;
+        completion = report.Adaptive.makespan;
+        migrations = report.Adaptive.adaptation_count;
+      })
+    [ (0.0, 0.0); (0.0, 0.1); (0.3, 0.02); (0.7, 0.02); (0.95, 0.02) ]
+
+let run_e7 ~quick =
+  let cells = e7_cells ~quick in
+  let table =
+    Render.Table.create
+      ~title:"E7: sensitivity to monitoring interval and adaptation threshold"
+      ~columns:[ "monitor every (s)"; "drop threshold"; "completion (s)"; "migrations" ]
+  in
+  List.iter
+    (fun c ->
+      Render.Table.add_row table
+        [
+          Printf.sprintf "%g" c.monitor_every;
+          Printf.sprintf "%g" c.drop;
+          Printf.sprintf "%.1f" c.completion;
+          string_of_int c.migrations;
+        ])
+    cells;
+  Render.Table.print table;
+  let sensor_table =
+    Render.Table.create ~title:"E7b: sensor robustness (load-step scenario)"
+      ~columns:[ "dropout"; "noise (rel sd)"; "completion (s)"; "migrations" ]
+  in
+  List.iter
+    (fun c ->
+      Render.Table.add_row sensor_table
+        [
+          Printf.sprintf "%g" c.dropout;
+          Printf.sprintf "%g" c.noise;
+          Printf.sprintf "%.1f" c.completion;
+          string_of_int c.migrations;
+        ])
+    (e7_sensor_cells ~quick);
+  Render.Table.print sensor_table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ E8 *)
+
+type e8_point = {
+  state_bytes : float;
+  stall_estimate : float;
+  adaptive_makespan : float;
+  static_makespan : float;
+  adaptations : int;
+}
+
+let e8_points ~quick =
+  List.map
+    (fun state_bytes ->
+      let scenario = load_step_scenario ~quick ~state_bytes () in
+      let static = Baselines.static_model_best ~scenario ~seed () in
+      let adaptive = Adaptive.run ~scenario ~seed () in
+      (* Representative stall: one stage's state over a default link plus the
+         restart penalty. *)
+      let stall =
+        (state_bytes /. Common.default_bandwidth) +. Common.default_latency
+        +. Migration.default.Migration.restart_penalty
+      in
+      {
+        state_bytes;
+        stall_estimate = stall;
+        adaptive_makespan = adaptive.Adaptive.makespan;
+        static_makespan = static.Baselines.makespan;
+        adaptations = adaptive.Adaptive.adaptation_count;
+      })
+    [ 1e6; 1e7; 1e8; 5e8; 1e9; 3e9 ]
+
+let run_e8 ~quick =
+  let points = e8_points ~quick in
+  let table =
+    Render.Table.create ~title:"E8: migration-cost crossover (load-step scenario)"
+      ~columns:
+        [ "state bytes"; "est. stall (s)"; "adaptive (s)"; "static (s)"; "gain"; "migrations" ]
+  in
+  List.iter
+    (fun p ->
+      Render.Table.add_row table
+        [
+          Printf.sprintf "%.0e" p.state_bytes;
+          Printf.sprintf "%.1f" p.stall_estimate;
+          Printf.sprintf "%.1f" p.adaptive_makespan;
+          Printf.sprintf "%.1f" p.static_makespan;
+          Printf.sprintf "%.3f" (p.static_makespan /. p.adaptive_makespan);
+          string_of_int p.adaptations;
+        ])
+    points;
+  Render.Table.print table;
+  Render.print_figure ~title:"E8 (figure): makespan vs stage state size"
+    ~x_label:"log10 state bytes" ~y_label:"makespan (s)"
+    [
+      Render.Series.make "adaptive"
+        (Array.of_list (List.map (fun p -> (Float.log10 p.state_bytes, p.adaptive_makespan)) points));
+      Render.Series.make "static"
+        (Array.of_list (List.map (fun p -> (Float.log10 p.state_bytes, p.static_makespan)) points));
+    ];
+  print_newline ()

@@ -1,0 +1,109 @@
+module Stream_spec = Aspipe_skel.Stream_spec
+module Loadgen = Aspipe_grid.Loadgen
+module Render = Aspipe_util.Render
+module Scenario = Aspipe_core.Scenario
+module Adaptive = Aspipe_core.Adaptive
+module Baselines = Aspipe_core.Baselines
+module Synthetic = Aspipe_workload.Synthetic
+
+type cell = {
+  workload : string;
+  strategy : string;
+  mean_makespan : float;
+  ci95 : float;
+  mean_adaptations : float;
+}
+
+let workloads () =
+  [
+    ("balanced", Synthetic.balanced ~n:6 ());
+    ("hot-stage x4", Synthetic.hot_stage ~n:6 ~factor:4.0 ());
+    ("front-heavy", Synthetic.front_heavy ~n:6 ());
+    ("noisy cv=0.75", Synthetic.noisy ~n:6 ~cv:0.75 ());
+  ]
+
+(* Dense enough dynamics that every run sees several load episodes: one node
+   flaps between free and 25% on ~20 s holding times, another wanders. *)
+let dynamic_loads =
+  [
+    (1, Loadgen.Markov_on_off { to_busy_rate = 1.0 /. 25.0; to_free_rate = 1.0 /. 20.0; busy_level = 0.25 });
+    (2, Loadgen.Random_walk { every = 5.0; sigma = 0.15; lo = 0.3; hi = 1.0 });
+  ]
+
+let scenario ~quick ~name ~stages =
+  let items = Common.scale ~quick 800 in
+  Scenario.make ~name
+    ~make_topo:(Common.uniform_grid ~n:4 ())
+    ~loads:dynamic_loads ~stages
+    (* Near the clean-grid capacity, so losing a node's worth of availability
+       actually backs the pipeline up. *)
+    ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.25) ~item_bytes:1e4 ~items ())
+    ~horizon:1e5 ()
+
+type run_result = { makespan : float; adaptations : int }
+
+let strategies =
+  [
+    ("static-rr", fun scenario seed ->
+        let o = Baselines.static_round_robin ~scenario ~seed in
+        { makespan = o.Baselines.makespan; adaptations = 0 });
+    ("static-blocks", fun scenario seed ->
+        let o = Baselines.static_blocks ~scenario ~seed in
+        { makespan = o.Baselines.makespan; adaptations = 0 });
+    ("static-model-best", fun scenario seed ->
+        let o = Baselines.static_model_best ~scenario ~seed () in
+        { makespan = o.Baselines.makespan; adaptations = 0 });
+    ("adaptive", fun scenario seed ->
+        let r = Adaptive.run ~scenario ~seed () in
+        { makespan = r.Adaptive.makespan; adaptations = r.Adaptive.adaptation_count });
+    ("clairvoyant", fun scenario seed ->
+        let r = Baselines.clairvoyant ~scenario ~seed in
+        { makespan = r.Adaptive.makespan; adaptations = r.Adaptive.adaptation_count });
+  ]
+
+let cells ~quick =
+  let seeds = if quick then [ 11 ] else [ 11; 12; 13; 14; 15 ] in
+  List.concat_map
+    (fun (workload, stages) ->
+      let scenario = scenario ~quick ~name:workload ~stages in
+      List.map
+        (fun (strategy, run) ->
+          let results = List.map (fun seed -> run scenario seed) seeds in
+          let mean, ci = Common.mean_ci (List.map (fun r -> r.makespan) results) in
+          let mean_adaptations =
+            List.fold_left (fun acc r -> acc +. Float.of_int r.adaptations) 0.0 results
+            /. Float.of_int (List.length results)
+          in
+          { workload; strategy; mean_makespan = mean; ci95 = ci; mean_adaptations })
+        strategies)
+    (workloads ())
+
+let adaptive_vs ~cells ~workload ~strategy =
+  let find s =
+    match List.find_opt (fun c -> c.workload = workload && c.strategy = s) cells with
+    | Some c -> c.mean_makespan
+    | None -> invalid_arg "Exp_campaign.adaptive_vs: unknown cell"
+  in
+  find strategy /. find "adaptive"
+
+let run_e11 ~quick =
+  let all = cells ~quick in
+  let table =
+    Render.Table.create
+      ~title:"E11: campaign on a dynamic 4-node grid (makespan, mean ± 95% CI over seeds)"
+      ~columns:[ "workload"; "strategy"; "makespan (s)"; "± CI"; "mean migrations"; "vs adaptive" ]
+  in
+  List.iter
+    (fun c ->
+      Render.Table.add_row table
+        [
+          c.workload;
+          c.strategy;
+          Printf.sprintf "%.1f" c.mean_makespan;
+          Printf.sprintf "%.1f" c.ci95;
+          Printf.sprintf "%.1f" c.mean_adaptations;
+          Printf.sprintf "%.3f" (adaptive_vs ~cells:all ~workload:c.workload ~strategy:c.strategy);
+        ])
+    all;
+  Render.Table.print table;
+  print_newline ()

@@ -1,0 +1,21 @@
+(** E11 (table): the end-to-end campaign — four workload shapes on a
+    dynamically loaded 4-node grid, five mapping strategies, multiple seeds.
+    The headline reproduction claim: the adaptive pattern beats every
+    non-clairvoyant baseline on dynamic scenarios and sits within a modest
+    factor of the clairvoyant engine. *)
+
+type cell = {
+  workload : string;
+  strategy : string;
+  mean_makespan : float;
+  ci95 : float;
+  mean_adaptations : float;
+}
+
+val cells : quick:bool -> cell list
+
+val adaptive_vs : cells:cell list -> workload:string -> strategy:string -> float
+(** mean makespan of [strategy] ÷ mean makespan of ["adaptive"] on a
+    workload (> 1 means adaptive wins). *)
+
+val run_e11 : quick:bool -> unit

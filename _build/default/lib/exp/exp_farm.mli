@@ -1,0 +1,32 @@
+(** E12: the task farm — stage replication — on the simulated grid.
+
+    Part (a), table: dispatch disciplines on a heterogeneous but {e static}
+    grid. Round-robin over all workers binds at the slowest node (predicted
+    n·min rate), least-loaded approaches the capacity sum, and the model's
+    best round-robin {e subset} beats round-robin-over-everything — measured
+    against the farm model's predictions.
+
+    Part (b), figure + table: a mid-run availability collapse on one member
+    of the deal. The static round-robin farm collapses with it (equal shares
+    wait on the slow member); the adaptive farm evicts the degraded worker
+    and recovers; least-loaded degrades only gracefully. *)
+
+type dispatch_row = {
+  label : string;
+  workers : int list;
+  predicted : float;
+  measured : float;
+}
+
+val dispatch_rows : quick:bool -> dispatch_row list
+
+type adapt_result = {
+  label : string;
+  series : (float * float) array;
+  makespan : float;
+  reconfigurations : int;
+}
+
+val adapt_results : quick:bool -> adapt_result list
+
+val run_e12 : quick:bool -> unit

@@ -1,0 +1,88 @@
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Forecast = Aspipe_util.Forecast
+module Render = Aspipe_util.Render
+
+type row = { signal : string; per_forecaster : (string * float) list }
+
+let clamp x = Float.min 1.0 (Float.max 0.0 x)
+
+let signal_families ~quick =
+  let n = if quick then 120 else 600 in
+  let rng = Rng.create 9 in
+  let step =
+    Array.init n (fun i -> if i < n / 2 then 0.9 else 0.3)
+  in
+  let sine =
+    Array.init n (fun i -> clamp (0.6 +. (0.3 *. sin (Float.of_int i /. 12.0))))
+  in
+  let walk =
+    let level = ref 0.7 in
+    Array.init n (fun _ ->
+        level := clamp (!level +. Variate.normal rng ~mean:0.0 ~stddev:0.05);
+        !level)
+  in
+  let onoff =
+    let busy = ref false in
+    Array.init n (fun _ ->
+        if Rng.float rng < 0.08 then busy := not !busy;
+        if !busy then 0.25 else 1.0)
+  in
+  let spiky =
+    Array.init n (fun _ ->
+        if Rng.float rng < 0.1 then clamp (1.0 -. Variate.pareto rng ~shape:2.0 ~scale:0.3)
+        else 0.85)
+  in
+  let noisy_constant =
+    Array.init n (fun _ -> clamp (0.75 +. Variate.normal rng ~mean:0.0 ~stddev:0.08))
+  in
+  [
+    ("step", step); ("sine", sine); ("random walk", walk); ("on/off", onoff);
+    ("pareto spikes", spiky); ("noisy constant", noisy_constant);
+  ]
+
+let forecaster_bank () =
+  [
+    Forecast.last_value ();
+    Forecast.running_mean ();
+    Forecast.sliding_mean ~window:10 ();
+    Forecast.sliding_median ~window:10 ();
+    Forecast.ewma ~gain:0.25 ();
+    Forecast.adaptive ();
+  ]
+
+let rows ~quick =
+  List.map
+    (fun (signal, values) ->
+      let bank = forecaster_bank () in
+      Array.iter (fun v -> List.iter (fun f -> Forecast.observe f v) bank) values;
+      { signal; per_forecaster = List.map (fun f -> (Forecast.name f, Forecast.mae f)) bank })
+    (signal_families ~quick)
+
+let ensemble_regret row =
+  let adaptive =
+    List.assoc "adaptive" row.per_forecaster
+  in
+  let best_primitive =
+    List.fold_left
+      (fun acc (name, mae) -> if name = "adaptive" then acc else Float.min acc mae)
+      infinity row.per_forecaster
+  in
+  adaptive -. best_primitive
+
+let run_e9 ~quick =
+  let all = rows ~quick in
+  let names = List.map fst (List.hd all).per_forecaster in
+  let table =
+    Render.Table.create ~title:"E9: forecaster MAE per availability-signal family"
+      ~columns:("signal" :: names @ [ "ensemble regret" ])
+  in
+  List.iter
+    (fun r ->
+      Render.Table.add_row table
+        (r.signal
+         :: List.map (fun (_, mae) -> Printf.sprintf "%.4f" mae) r.per_forecaster
+        @ [ Printf.sprintf "%.4f" (ensemble_regret r) ]))
+    all;
+  Render.Table.print table;
+  print_newline ()

@@ -1,0 +1,16 @@
+(** E9 (table): one-step-ahead forecasting accuracy of every primitive
+    forecaster and the NWS-style adaptive ensemble across the signal
+    families a non-dedicated grid produces. The NWS claim being reproduced:
+    the ensemble is never the worst and is at or near the best on every
+    family. *)
+
+type row = { signal : string; per_forecaster : (string * float) list (** MAE *) }
+
+val signal_families : quick:bool -> (string * float array) list
+(** Named synthetic availability traces. Deterministic. *)
+
+val rows : quick:bool -> row list
+val ensemble_regret : row -> float
+(** MAE(adaptive) − min MAE over primitives, for one signal. *)
+
+val run_e9 : quick:bool -> unit

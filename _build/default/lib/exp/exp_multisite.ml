@@ -1,0 +1,89 @@
+module Stage = Aspipe_skel.Stage
+module Variate = Aspipe_util.Variate
+module Rng = Aspipe_util.Rng
+module Render = Aspipe_util.Render
+module Topology = Aspipe_grid.Topology
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Analytic = Aspipe_model.Analytic
+module Search = Aspipe_model.Search
+module Scenario = Aspipe_core.Scenario
+module Baselines = Aspipe_core.Baselines
+
+let seed = 16
+let local_nodes = 3
+
+type point = {
+  remote_speed : float;
+  local_only : float;
+  unconstrained : float;
+  uses_remote : bool;
+}
+
+let scenario ~quick ~remote_speed =
+  let items = Common.scale ~quick 400 in
+  let stages =
+    Array.init 5 (fun i ->
+        Stage.make
+          ~name:(Printf.sprintf "ms%d" i)
+          ~output_bytes:1e4
+          ~work:(Variate.Constant 1.0)
+          ())
+  in
+  Scenario.make
+    ~name:(Printf.sprintf "multisite-%g" remote_speed)
+    ~make_topo:(fun engine ->
+      Topology.two_site engine ~site_a:(Array.make local_nodes 10.0)
+        ~site_b:[| remote_speed; remote_speed |] ~intra_latency:0.001 ~intra_bandwidth:1e8
+        ~inter_latency:0.15 ~inter_bandwidth:2e6 ())
+    ~stages
+    ~input:(Common.batch_input ~item_bytes:1e4 ~items ())
+    ()
+
+let points ~quick =
+  List.map
+    (fun remote_speed ->
+      let sc = scenario ~quick ~remote_speed in
+      let topo = Scenario.build sc ~rng:(Rng.create 60) in
+      let spec =
+        Costspec.of_topology ~topo ~stages:sc.Scenario.stages ~input:sc.Scenario.input ()
+      in
+      let evaluator m = Analytic.throughput spec m in
+      let best = Search.exhaustive ~stages:5 ~processors:(Topology.size topo) evaluator in
+      (* Local-only: the same search over mappings confined to site A. *)
+      let local_candidates =
+        List.filter
+          (fun m -> Array.for_all (fun p -> p < local_nodes) (Mapping.to_array m))
+          (Mapping.enumerate ~stages:5 ~processors:(Topology.size topo) ())
+      in
+      let local_best = Search.best_of local_candidates evaluator in
+      let measure m =
+        Common.simulated_throughput ~scenario:sc ~seed ~mapping:(Mapping.to_array m)
+      in
+      {
+        remote_speed;
+        local_only = measure local_best.Search.mapping;
+        unconstrained = measure best.Search.mapping;
+        uses_remote =
+          Array.exists (fun p -> p >= local_nodes) (Mapping.to_array best.Search.mapping);
+      })
+    [ 5.0; 10.0; 20.0; 40.0; 80.0 ]
+
+let run_e16 ~quick =
+  let all = points ~quick in
+  Render.print_figure
+    ~title:"E16: remote-site offload crossover (5 stages; remote site behind a 150ms/2MBps WAN)"
+    ~x_label:"remote node speed (local = 10)" ~y_label:"items/s"
+    [
+      Render.Series.make "best local-only mapping"
+        (Array.of_list (List.map (fun p -> (p.remote_speed, p.local_only)) all));
+      Render.Series.make "best unconstrained mapping"
+        (Array.of_list (List.map (fun p -> (p.remote_speed, p.unconstrained)) all));
+    ];
+  List.iter
+    (fun p ->
+      Printf.printf "remote %5.1fx: local-only %.2f, unconstrained %.2f items/s (%s)\n"
+        (p.remote_speed /. 10.0) p.local_only p.unconstrained
+        (if p.uses_remote then "offloads to the remote site" else "stays local"))
+    all;
+  print_newline ()

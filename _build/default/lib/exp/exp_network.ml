@@ -1,0 +1,94 @@
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+module Variate = Aspipe_util.Variate
+module Render = Aspipe_util.Render
+module Trace = Aspipe_grid.Trace
+module Loadgen = Aspipe_grid.Loadgen
+module Mapping = Aspipe_model.Mapping
+module Scenario = Aspipe_core.Scenario
+module Adaptive = Aspipe_core.Adaptive
+module Baselines = Aspipe_core.Baselines
+
+let seed = 15
+
+(* 4 stages with 0.5 MB payloads on 3 nodes: at nominal quality a transfer
+   costs ~0.06 s against a 0.1 s service; at 10% quality it costs ~0.6 s and
+   dominates every spread stage cycle. *)
+let congestion_scenario ~quick =
+  let items = Common.scale ~quick 1200 in
+  let congest_at = 0.3 *. Float.of_int items *. 0.35 in
+  let stages =
+    Array.init 4 (fun i ->
+        Stage.make
+          ~name:(Printf.sprintf "net%d" i)
+          ~output_bytes:5e5 ~state_bytes:1e6
+          ~work:(Variate.Constant 1.0)
+          ())
+  in
+  let pairs = [ (0, 1); (0, 2); (1, 2) ] in
+  Scenario.make ~name:"congestion"
+    ~make_topo:(Common.heterogeneous_grid ~speeds:[| 12.0; 10.0; 10.0 |] ())
+    ~net_loads:(List.map (fun pair -> (pair, Loadgen.Step { at = congest_at; level = 0.1 })) pairs)
+    ~stages
+    ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~item_bytes:1e4 ~items ())
+    ~horizon:1e5 ()
+
+type result = {
+  label : string;
+  series : (float * float) array;
+  makespan : float;
+  adaptations : int;
+  final_mapping : int array;
+  final_distinct_nodes : int;
+}
+
+let distinct_nodes mapping =
+  List.length (List.sort_uniq compare (Array.to_list mapping))
+
+let results ~quick =
+  let scenario = congestion_scenario ~quick in
+  let window = 20.0 in
+  let static = Baselines.static_model_best ~scenario ~seed () in
+  let adaptive = Adaptive.run ~scenario ~seed () in
+  let clair = Baselines.clairvoyant ~scenario ~seed in
+  [
+    {
+      label = "static (model best at t=0)";
+      series = Trace.throughput_series static.Baselines.trace ~window;
+      makespan = static.Baselines.makespan;
+      adaptations = 0;
+      final_mapping = Mapping.to_array static.Baselines.mapping;
+      final_distinct_nodes = distinct_nodes (Mapping.to_array static.Baselines.mapping);
+    };
+    {
+      label = "adaptive (threshold policy)";
+      series = Trace.throughput_series adaptive.Adaptive.trace ~window;
+      makespan = adaptive.Adaptive.makespan;
+      adaptations = adaptive.Adaptive.adaptation_count;
+      final_mapping = Mapping.to_array adaptive.Adaptive.final_mapping;
+      final_distinct_nodes = distinct_nodes (Mapping.to_array adaptive.Adaptive.final_mapping);
+    };
+    {
+      label = "clairvoyant";
+      series = Trace.throughput_series clair.Adaptive.trace ~window;
+      makespan = clair.Adaptive.makespan;
+      adaptations = clair.Adaptive.adaptation_count;
+      final_mapping = Mapping.to_array clair.Adaptive.final_mapping;
+      final_distinct_nodes = distinct_nodes (Mapping.to_array clair.Adaptive.final_mapping);
+    };
+  ]
+
+let run_e15 ~quick =
+  let all = results ~quick in
+  Render.print_figure
+    ~title:"E15: network congestion mid-run (all inter-node routes drop to 10% quality)"
+    ~x_label:"time (s)" ~y_label:"items/s"
+    (List.map (fun r -> Render.Series.make r.label r.series) all);
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s makespan %8.1f s, %d adaptation(s), final mapping (%s) on %d node(s)\n"
+        r.label r.makespan r.adaptations
+        (String.concat "," (List.map string_of_int (Array.to_list r.final_mapping)))
+        r.final_distinct_nodes)
+    all;
+  print_newline ()

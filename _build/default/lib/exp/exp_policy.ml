@@ -1,0 +1,80 @@
+module Stream_spec = Aspipe_skel.Stream_spec
+module Loadgen = Aspipe_grid.Loadgen
+module Render = Aspipe_util.Render
+module Scenario = Aspipe_core.Scenario
+module Adaptive = Aspipe_core.Adaptive
+module Policy = Aspipe_core.Policy
+
+type row = {
+  policy : string;
+  mean_makespan : float;
+  ci95 : float;
+  mean_migrations : float;
+}
+
+(* The campaign's dynamic grid, hot-stage workload. *)
+let scenario ~quick =
+  let items = Common.scale ~quick 800 in
+  Scenario.make ~name:"policy-ablation"
+    ~make_topo:(Common.uniform_grid ~n:4 ())
+    ~loads:
+      [
+        (1, Loadgen.Markov_on_off { to_busy_rate = 1.0 /. 25.0; to_free_rate = 1.0 /. 20.0; busy_level = 0.25 });
+        (2, Loadgen.Random_walk { every = 5.0; sigma = 0.15; lo = 0.3; hi = 1.0 });
+      ]
+    ~stages:(Aspipe_workload.Synthetic.hot_stage ~n:6 ~factor:4.0 ())
+    ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.25) ~item_bytes:1e4 ~items ())
+    ~horizon:1e5 ()
+
+let policies =
+  [
+    ("never", fun () -> Policy.never ());
+    ("threshold drop=0.1", fun () -> Policy.threshold ~drop:0.1 ());
+    ("threshold drop=0.25 (default)", fun () -> Policy.threshold ());
+    ("threshold drop=0.5", fun () -> Policy.threshold ~drop:0.5 ());
+    ("threshold, no cool-down", fun () -> Policy.threshold ~cooldown:0.0 ());
+    ("periodic min_gain=0.1", fun () -> Policy.periodic_best ());
+    ("always best", fun () -> Policy.always_best ());
+  ]
+
+let rows ~quick =
+  let scenario = scenario ~quick in
+  let seeds = if quick then [ 31 ] else [ 31; 32; 33 ] in
+  List.map
+    (fun (name, make_policy) ->
+      let reports =
+        List.map
+          (fun seed ->
+            let config = { Adaptive.default_config with policy = make_policy } in
+            Adaptive.run ~config ~scenario ~seed ())
+          seeds
+      in
+      let mean_makespan, ci95 =
+        Common.mean_ci (List.map (fun r -> r.Adaptive.makespan) reports)
+      in
+      let mean_migrations =
+        List.fold_left (fun acc r -> acc +. Float.of_int r.Adaptive.adaptation_count) 0.0 reports
+        /. Float.of_int (List.length reports)
+      in
+      { policy = name; mean_makespan; ci95; mean_migrations })
+    policies
+
+let run_e17 ~quick =
+  let all = rows ~quick in
+  let table =
+    Render.Table.create
+      ~title:"E17: policy ablation on the dynamic grid (hot-stage workload, mean over seeds)"
+      ~columns:[ "policy"; "makespan (s)"; "± CI"; "mean migrations" ]
+  in
+  List.iter
+    (fun r ->
+      Render.Table.add_row table
+        [
+          r.policy;
+          Printf.sprintf "%.1f" r.mean_makespan;
+          Printf.sprintf "%.1f" r.ci95;
+          Printf.sprintf "%.1f" r.mean_migrations;
+        ])
+    all;
+  Render.Table.print table;
+  print_newline ()

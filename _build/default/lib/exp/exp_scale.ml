@@ -1,0 +1,159 @@
+module Stage = Aspipe_skel.Stage
+module Variate = Aspipe_util.Variate
+module Rng = Aspipe_util.Rng
+module Render = Aspipe_util.Render
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Analytic = Aspipe_model.Analytic
+module Ctmc = Aspipe_model.Ctmc
+module Search = Aspipe_model.Search
+module Predictor = Aspipe_model.Predictor
+module Scenario = Aspipe_core.Scenario
+module Baselines = Aspipe_core.Baselines
+
+let seed = 5
+
+(* ------------------------------------------------------------------ E5 *)
+
+type e5_point = {
+  processors : int;
+  compute_bound : float;
+  comm_bound : float;
+  ideal : float;
+}
+
+let e5_scenario ~quick ~processors ~output_bytes =
+  let items = Common.scale ~quick 300 in
+  let stages =
+    Array.init 8 (fun i ->
+        Stage.make ~name:(Printf.sprintf "sc%d" i) ~output_bytes ~work:(Variate.Constant 1.0) ())
+  in
+  Scenario.make
+    ~name:(Printf.sprintf "scale-%d" processors)
+    ~make_topo:(Common.uniform_grid ~n:processors ())
+    ~stages
+    ~input:(Common.batch_input ~items ())
+    ()
+
+let best_static_throughput ~quick ~processors ~output_bytes =
+  let scenario = e5_scenario ~quick ~processors ~output_bytes in
+  let outcome = Baselines.static_model_best ~scenario ~seed () in
+  Common.steady_throughput outcome.Baselines.trace
+
+let e5_points ~quick =
+  List.map
+    (fun processors ->
+      let ideal =
+        10.0 /. Float.of_int (int_of_float (Float.ceil (8.0 /. Float.of_int processors)))
+      in
+      {
+        processors;
+        compute_bound = best_static_throughput ~quick ~processors ~output_bytes:1e4;
+        comm_bound = best_static_throughput ~quick ~processors ~output_bytes:2e6;
+        ideal;
+      })
+    [ 1; 2; 4; 6; 8; 12; 16; 24; 32 ]
+
+let run_e5 ~quick =
+  let points = e5_points ~quick in
+  let series f = Array.of_list (List.map (fun p -> (Float.of_int p.processors, f p)) points) in
+  Render.print_figure ~title:"E5: throughput scalability, 8-stage pipeline"
+    ~x_label:"processors" ~y_label:"items/s"
+    [
+      Render.Series.make "compute-bound" (series (fun p -> p.compute_bound));
+      Render.Series.make "comm-bound (2MB payloads)" (series (fun p -> p.comm_bound));
+      Render.Series.make "ideal 10/ceil(8/Np)" (series (fun p -> p.ideal));
+    ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ E6 *)
+
+type e6_row = {
+  stages : int;
+  processors : int;
+  space : int;
+  exhaustive_ms : float;
+  auto_ms : float;
+  auto_evaluations : int;
+  ctmc_states : int;
+  ctmc_solve_ms : float;
+}
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* A synthetic cost spec: mildly heterogeneous so searches are non-trivial. *)
+let synthetic_spec ~stages ~processors =
+  let rng = Rng.create 17 in
+  {
+    Costspec.stage_work = Array.init stages (fun _ -> Rng.range rng 0.5 2.0);
+    node_rates = Array.init processors (fun _ -> Rng.range rng 5.0 15.0);
+    item_bytes = 1e4;
+    output_bytes = Array.make stages 1e4;
+    latency = Array.init processors (fun _ -> Array.make processors 0.01);
+    bandwidth = Array.init processors (fun _ -> Array.make processors 1e7);
+    user_latency = Array.make processors 0.01;
+    user_bandwidth = Array.make processors 1e7;
+  }
+
+let e6_rows ~quick =
+  let cases =
+    if quick then [ (3, 3); (4, 4); (6, 6) ] else [ (3, 3); (4, 4); (6, 6); (8, 8); (8, 16) ]
+  in
+  List.map
+    (fun (stages, processors) ->
+      let spec = synthetic_spec ~stages ~processors in
+      let evaluator m = Analytic.throughput spec m in
+      let space = int_of_float (Float.of_int processors ** Float.of_int stages) in
+      let exhaustive_ms =
+        if space <= 1 lsl 22 then snd (time_ms (fun () -> Search.exhaustive ~stages ~processors evaluator))
+        else nan
+      in
+      let auto_result, auto_ms =
+        time_ms (fun () -> Search.auto ~exhaustive_limit:2000 ~stages ~processors evaluator)
+      in
+      let ctmc_states = int_of_float (3.0 ** Float.of_int stages) in
+      let mapping = Mapping.round_robin ~stages ~processors in
+      let _, ctmc_solve_ms =
+        time_ms (fun () -> Ctmc.throughput (Ctmc.of_costspec spec mapping))
+      in
+      {
+        stages;
+        processors;
+        space;
+        exhaustive_ms;
+        auto_ms;
+        auto_evaluations = auto_result.Search.evaluated;
+        ctmc_states;
+        ctmc_solve_ms;
+      })
+    cases
+
+let run_e6 ~quick =
+  let rows = e6_rows ~quick in
+  let table =
+    Render.Table.create ~title:"E6: cost of the mapping decision path"
+      ~columns:
+        [
+          "Ns"; "Np"; "space"; "exhaustive (ms)"; "greedy+hill (ms)"; "evals"; "CTMC states";
+          "CTMC solve (ms)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Render.Table.add_row table
+        [
+          string_of_int r.stages;
+          string_of_int r.processors;
+          string_of_int r.space;
+          Printf.sprintf "%.2f" r.exhaustive_ms;
+          Printf.sprintf "%.2f" r.auto_ms;
+          string_of_int r.auto_evaluations;
+          string_of_int r.ctmc_states;
+          Printf.sprintf "%.2f" r.ctmc_solve_ms;
+        ])
+    rows;
+  Render.Table.print table;
+  print_newline ()

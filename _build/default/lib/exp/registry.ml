@@ -1,0 +1,59 @@
+type kind = Table | Figure
+
+type t = {
+  id : string;
+  kind : kind;
+  title : string;
+  run : quick:bool -> unit;
+}
+
+let all =
+  [
+    { id = "E1"; kind = Table; title = "Model validation: analytic & CTMC vs simulation";
+      run = (fun ~quick -> Exp_model.run_e1 ~quick) };
+    { id = "E2"; kind = Table; title = "Model-chosen vs simulated-best mapping per scenario";
+      run = (fun ~quick -> Exp_model.run_e2 ~quick) };
+    { id = "E3"; kind = Figure; title = "Throughput timeline under a load step";
+      run = (fun ~quick -> Exp_adaptation.run_e3 ~quick) };
+    { id = "E4"; kind = Figure; title = "Completion time vs hidden load severity";
+      run = (fun ~quick -> Exp_adaptation.run_e4 ~quick) };
+    { id = "E5"; kind = Figure; title = "Throughput scalability with processors";
+      run = (fun ~quick -> Exp_scale.run_e5 ~quick) };
+    { id = "E6"; kind = Table; title = "Cost of the mapping decision path";
+      run = (fun ~quick -> Exp_scale.run_e6 ~quick) };
+    { id = "E7"; kind = Table; title = "Sensitivity to monitoring interval and threshold";
+      run = (fun ~quick -> Exp_adaptation.run_e7 ~quick) };
+    { id = "E8"; kind = Figure; title = "Migration-cost crossover";
+      run = (fun ~quick -> Exp_adaptation.run_e8 ~quick) };
+    { id = "E9"; kind = Table; title = "Forecaster accuracy per signal family";
+      run = (fun ~quick -> Exp_forecast.run_e9 ~quick) };
+    { id = "E10"; kind = Figure; title = "Shared-memory pipeline & farm speedup";
+      run = (fun ~quick -> Exp_mc.run_e10 ~quick) };
+    { id = "E11"; kind = Table; title = "Campaign: workloads x strategies on a dynamic grid";
+      run = (fun ~quick -> Exp_campaign.run_e11 ~quick) };
+    { id = "E12"; kind = Figure; title = "Task farm: dispatch disciplines and adaptive worker sets";
+      run = (fun ~quick -> Exp_farm.run_e12 ~quick) };
+    { id = "E13"; kind = Table; title = "Ablations: buffer capacity and CTMC solver";
+      run = (fun ~quick -> Exp_ablation.run_e13 ~quick) };
+    { id = "E14"; kind = Table; title = "Replicating the hot stage inside the pipeline";
+      run = (fun ~quick -> Exp_replication.run_e14 ~quick) };
+    { id = "E15"; kind = Figure; title = "Adaptation to network congestion (colocate to survive)";
+      run = (fun ~quick -> Exp_network.run_e15 ~quick) };
+    { id = "E16"; kind = Figure; title = "Remote-site offload crossover";
+      run = (fun ~quick -> Exp_multisite.run_e16 ~quick) };
+    { id = "E17"; kind = Table; title = "Policy ablation on the dynamic grid";
+      run = (fun ~quick -> Exp_policy.run_e17 ~quick) };
+  ]
+
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun e -> String.uppercase_ascii e.id = target) all
+
+let run_all ~quick =
+  List.iter
+    (fun e ->
+      Printf.printf "######## %s (%s): %s ########\n" e.id
+        (match e.kind with Table -> "table" | Figure -> "figure")
+        e.title;
+      e.run ~quick)
+    all

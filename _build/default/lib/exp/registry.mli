@@ -1,0 +1,20 @@
+(** The experiment index: every reconstructed table and figure, addressable
+    by id, runnable from the CLI and from [bench/main.exe]. *)
+
+type kind = Table | Figure
+
+type t = {
+  id : string;
+  kind : kind;
+  title : string;
+  run : quick:bool -> unit;
+}
+
+val all : t list
+(** E1 … E13 in order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_all : quick:bool -> unit
+(** Run every experiment, printing a header per experiment. *)

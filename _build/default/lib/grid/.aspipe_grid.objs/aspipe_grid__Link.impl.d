@@ -1,0 +1,1 @@
+lib/grid/link.ml: Aspipe_des Float

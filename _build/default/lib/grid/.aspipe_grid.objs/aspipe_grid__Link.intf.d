@@ -1,0 +1,1 @@
+lib/grid/link.mli: Aspipe_des Aspipe_util

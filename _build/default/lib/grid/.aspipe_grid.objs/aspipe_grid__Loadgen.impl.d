@@ -1,0 +1,1 @@
+lib/grid/loadgen.ml: Aspipe_des Aspipe_util Float Format List Node Topology

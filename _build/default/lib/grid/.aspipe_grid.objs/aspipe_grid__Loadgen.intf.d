@@ -1,0 +1,1 @@
+lib/grid/loadgen.mli: Aspipe_util Format Topology

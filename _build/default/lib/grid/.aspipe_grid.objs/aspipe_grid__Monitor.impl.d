@@ -1,0 +1,1 @@
+lib/grid/monitor.ml: Array Aspipe_des Aspipe_util Float Link Node Topology

@@ -1,0 +1,1 @@
+lib/grid/monitor.mli: Aspipe_util Topology

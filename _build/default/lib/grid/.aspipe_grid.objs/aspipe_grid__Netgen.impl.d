@@ -1,0 +1,1 @@
+lib/grid/netgen.ml: Aspipe_des Aspipe_util Float Link List Loadgen Topology

@@ -1,0 +1,1 @@
+lib/grid/netgen.mli: Aspipe_util Loadgen Topology

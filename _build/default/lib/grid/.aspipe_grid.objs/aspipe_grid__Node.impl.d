@@ -1,0 +1,1 @@
+lib/grid/node.ml: Aspipe_des Float Printf

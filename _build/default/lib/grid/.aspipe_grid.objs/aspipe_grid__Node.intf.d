@@ -1,0 +1,1 @@
+lib/grid/node.mli: Aspipe_des Aspipe_util

@@ -1,0 +1,1 @@
+lib/grid/topology.ml: Array Aspipe_des Link Node

@@ -1,0 +1,1 @@
+lib/grid/topology.mli: Aspipe_des Link Node

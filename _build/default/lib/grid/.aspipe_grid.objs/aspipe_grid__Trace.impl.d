@@ -1,0 +1,1 @@
+lib/grid/trace.ml: Array Float Hashtbl List Stdlib

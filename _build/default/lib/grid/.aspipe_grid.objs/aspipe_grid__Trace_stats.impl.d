@@ -1,0 +1,1 @@
+lib/grid/trace_stats.ml: Array Aspipe_util List Printf String Trace

@@ -1,0 +1,1 @@
+lib/grid/trace_stats.mli: Aspipe_util Trace

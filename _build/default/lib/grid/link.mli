@@ -1,0 +1,50 @@
+(** A network link between two grid sites.
+
+    A transfer of [b] bytes costs [latency/q + b/(bandwidth·q)] seconds,
+    where [q] is the link's current {e quality} — a time-varying factor
+    (1.0 = nominal, 0.1 = ten times worse) driven by {!Netgen} profiles the
+    way node availability is driven by {!Loadgen}. A contended link
+    serializes concurrent transfers through an FCFS server whose rate tracks
+    [bandwidth·q] live; on an uncontended link each transfer samples the
+    quality once, when it starts. Local links — both endpoints on the same
+    node — are near-free, mirroring the "really high rate" intra-machine
+    moves of grid pipeline deployments. *)
+
+type t
+
+val create :
+  Aspipe_des.Engine.t ->
+  ?contended:bool ->
+  latency:float ->
+  bandwidth:float ->
+  unit ->
+  t
+(** [latency] in seconds (≥ 0), [bandwidth] in bytes/second (> 0).
+    [contended] defaults to [false]. Quality starts at 1.0. *)
+
+val local : Aspipe_des.Engine.t -> t
+(** The same-node link: 0.1 ms latency, 10 GB/s. *)
+
+val latency : t -> float
+(** Nominal (quality-1) latency. *)
+
+val bandwidth : t -> float
+(** Nominal bandwidth. *)
+
+val quality : t -> float
+val set_quality : t -> float -> unit
+(** Clamped to [\[0.01, 1\]] — a grid link degrades, it does not vanish. *)
+
+val effective_latency : t -> float
+val effective_bandwidth : t -> float
+
+val transfer_time : t -> bytes:float -> float
+(** Uncontended cost estimate at the current quality — what the performance
+    model uses. *)
+
+val transfer : t -> bytes:float -> (unit -> unit) -> unit
+(** Simulate a transfer; the callback fires on delivery. On a contended link
+    the bandwidth portion queues behind transfers already in flight. *)
+
+val transfers_completed : t -> int
+val quality_history : t -> Aspipe_util.Timeseries.t

@@ -1,0 +1,89 @@
+module Engine = Aspipe_des.Engine
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Forecast = Aspipe_util.Forecast
+
+type sensor_spec = { noise : float; dropout : float }
+
+let default_sensor = { noise = 0.02; dropout = 0.01 }
+let perfect_sensor = { noise = 0.0; dropout = 0.0 }
+
+type t = {
+  topo : Topology.t;
+  every : float;
+  forecasters : Forecast.t array;
+  link_forecasters : Forecast.t array array;  (* [src].[dst], diagonal unused *)
+  user_link_forecasters : Forecast.t array;
+  last : float option array;
+  mutable samples : int;
+}
+
+let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
+  if every <= 0.0 then invalid_arg "Monitor.create: period must be positive";
+  let make_forecaster =
+    match forecaster with Some f -> f | None -> fun () -> Forecast.adaptive ~fallback:1.0 ()
+  in
+  let n = Topology.size topo in
+  let t =
+    {
+      topo;
+      every;
+      forecasters = Array.init n (fun _ -> make_forecaster ());
+      link_forecasters = Array.init n (fun _ -> Array.init n (fun _ -> make_forecaster ()));
+      user_link_forecasters = Array.init n (fun _ -> make_forecaster ());
+      last = Array.make n None;
+      samples = 0;
+    }
+  in
+  let engine = Topology.engine topo in
+  let sense truth =
+    if Variate.bernoulli rng ~p:sensor.dropout then None
+    else begin
+      let observed =
+        if sensor.noise = 0.0 then truth
+        else truth *. (1.0 +. Variate.normal rng ~mean:0.0 ~stddev:sensor.noise)
+      in
+      Some (Float.min 1.0 (Float.max 0.0 observed))
+    end
+  in
+  Engine.periodic engine ~every (fun () ->
+      for i = 0 to n - 1 do
+        (match sense (Node.availability (Topology.node topo i)) with
+        | Some observed ->
+            Forecast.observe t.forecasters.(i) observed;
+            t.last.(i) <- Some observed;
+            t.samples <- t.samples + 1
+        | None -> ());
+        (match sense (Link.quality (Topology.user_link topo i)) with
+        | Some observed ->
+            Forecast.observe t.user_link_forecasters.(i) observed;
+            t.samples <- t.samples + 1
+        | None -> ());
+        for j = 0 to n - 1 do
+          if i <> j then
+            match sense (Link.quality (Topology.link topo ~src:i ~dst:j)) with
+            | Some observed ->
+                Forecast.observe t.link_forecasters.(i).(j) observed;
+                t.samples <- t.samples + 1
+            | None -> ()
+        done
+      done;
+      Engine.now engine < horizon);
+  t
+
+let every t = t.every
+
+let node_forecast t i =
+  let f = Forecast.predict t.forecasters.(i) in
+  Float.min 1.0 (Float.max 0.0 f)
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let link_forecast t ~src ~dst =
+  if src = dst then 1.0 else clamp01 (Forecast.predict t.link_forecasters.(src).(dst))
+
+let user_link_forecast t i = clamp01 (Forecast.predict t.user_link_forecasters.(i))
+
+let last_observation t i = t.last.(i)
+let samples_taken t = t.samples
+let forecast_error t i = Forecast.mae t.forecasters.(i)

@@ -1,0 +1,32 @@
+(** Network-quality generators — {!Loadgen}'s counterpart for links.
+
+    A {!Loadgen.profile} is reinterpreted with "availability" read as link
+    quality (1.0 = nominal). Profiles drive one ordered pair or, with
+    {!apply_pair}, both directions of a node pair — the common case for a
+    congested route. *)
+
+val apply_until :
+  ?rng:Aspipe_util.Rng.t ->
+  horizon:float ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  Loadgen.profile ->
+  unit
+(** Drive the quality of the directed link [src → dst]. Stochastic profiles
+    need [rng]. *)
+
+val apply_pair :
+  ?rng:Aspipe_util.Rng.t ->
+  horizon:float ->
+  Topology.t ->
+  int ->
+  int ->
+  Loadgen.profile ->
+  unit
+(** Drive both directions between two nodes with the same profile (the two
+    directions share every event, as one congested route would). *)
+
+val degrade_user_link :
+  ?rng:Aspipe_util.Rng.t -> horizon:float -> Topology.t -> int -> Loadgen.profile -> unit
+(** Drive the user ↔ node [i] connection. *)

@@ -1,0 +1,35 @@
+module Engine = Aspipe_des.Engine
+module Signal = Aspipe_des.Signal
+module Server = Aspipe_des.Server
+
+type t = {
+  id : int;
+  name : string;
+  base_speed : float;
+  availability : Signal.t;
+  rate : Signal.t;
+  server : Server.t;
+}
+
+let create engine ~id ?name ~speed () =
+  if speed <= 0.0 then invalid_arg "Node.create: speed must be positive";
+  let name = match name with Some n -> n | None -> Printf.sprintf "node%d" id in
+  let availability = Signal.create engine 1.0 in
+  let rate = Signal.create engine speed in
+  Signal.subscribe availability (fun ~old_value:_ ~new_value ->
+      Signal.set rate (speed *. new_value));
+  let server = Server.create engine ~name ~rate in
+  { id; name; base_speed = speed; availability; rate; server }
+
+let id t = t.id
+let name t = t.name
+let base_speed t = t.base_speed
+let availability t = Signal.get t.availability
+
+let set_availability t a =
+  let a = Float.min 1.0 (Float.max 0.0 a) in
+  Signal.set t.availability a
+
+let effective_rate t = Signal.get t.rate
+let server t = t.server
+let availability_history t = Signal.history t.availability

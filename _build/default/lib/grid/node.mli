@@ -1,0 +1,27 @@
+(** A grid processor: a base speed modulated by a time-varying availability.
+
+    Availability is the fraction of the CPU left for the pipeline by
+    background (non-dedicated) load — 1.0 means dedicated, 0.0 means the node
+    is completely stolen. The node's FCFS server serves whatever stages are
+    mapped to it, one item at a time, at rate [base_speed × availability]. *)
+
+type t
+
+val create :
+  Aspipe_des.Engine.t -> id:int -> ?name:string -> speed:float -> unit -> t
+(** [speed] is in abstract work units per second; must be positive. *)
+
+val id : t -> int
+val name : t -> string
+val base_speed : t -> float
+
+val availability : t -> float
+val set_availability : t -> float -> unit
+(** Clamped to [\[0, 1\]]. Updating re-derives the server rate, which
+    re-times any in-flight service. *)
+
+val effective_rate : t -> float
+(** [base_speed × availability], in work units per second. *)
+
+val server : t -> Aspipe_des.Server.t
+val availability_history : t -> Aspipe_util.Timeseries.t

@@ -1,0 +1,95 @@
+type service = { item : int; stage : int; node : int; start : float; finish : float }
+type transfer = { item : int; from_stage : int; src : int; dst : int; start : float; finish : float }
+type adaptation = {
+  at : float;
+  mapping_before : int array;
+  mapping_after : int array;
+  predicted_gain : float;
+  migration_cost : float;
+}
+
+type t = {
+  mutable services : service list;
+  mutable transfers : transfer list;
+  mutable completions : (int * float) list;
+  mutable adaptations : adaptation list;
+  first_start : (int, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    services = [];
+    transfers = [];
+    completions = [];
+    adaptations = [];
+    first_start = Hashtbl.create 64;
+  }
+
+let record_service t (s : service) =
+  if not (Hashtbl.mem t.first_start s.item) then Hashtbl.add t.first_start s.item s.start;
+  t.services <- s :: t.services
+
+let record_transfer t (tr : transfer) = t.transfers <- tr :: t.transfers
+let record_completion t ~item ~time = t.completions <- (item, time) :: t.completions
+let record_adaptation t a = t.adaptations <- a :: t.adaptations
+
+let completions t = Array.of_list (List.rev t.completions)
+let items_completed t = List.length t.completions
+
+let makespan t =
+  match t.completions with [] -> 0.0 | (_, time) :: _ -> time
+
+let throughput t =
+  let span = makespan t in
+  if span <= 0.0 then 0.0 else Float.of_int (items_completed t) /. span
+
+let throughput_after t t0 =
+  let late = List.filter (fun (_, time) -> time >= t0) t.completions in
+  match (late, makespan t) with
+  | [], _ -> 0.0
+  | _, span when span <= t0 -> 0.0
+  | late, span -> Float.of_int (List.length late) /. (span -. t0)
+
+let throughput_series t ~window =
+  if window <= 0.0 then invalid_arg "Trace.throughput_series: window must be positive";
+  let span = makespan t in
+  if span <= 0.0 then [||]
+  else begin
+    let nwin = int_of_float (Float.ceil (span /. window)) in
+    let counts = Array.make nwin 0 in
+    List.iter
+      (fun (_, time) ->
+        let k = Stdlib.min (nwin - 1) (int_of_float (time /. window)) in
+        counts.(k) <- counts.(k) + 1)
+      t.completions;
+    Array.mapi
+      (fun k c -> ((Float.of_int k +. 0.5) *. window, Float.of_int c /. window))
+      counts
+  end
+
+let services t = List.rev t.services
+
+let service_times t ~stage =
+  let times =
+    List.filter_map
+      (fun s -> if s.stage = stage then Some (s.finish -. s.start) else None)
+      t.services
+  in
+  Array.of_list (List.rev times)
+
+let services_on_node t ~node =
+  List.length (List.filter (fun s -> s.node = node) t.services)
+
+let transfers t = List.rev t.transfers
+let adaptations t = List.rev t.adaptations
+
+let mean_sojourn t =
+  let total, count =
+    List.fold_left
+      (fun (total, count) (item, time) ->
+        match Hashtbl.find_opt t.first_start item with
+        | Some start -> (total +. (time -. start), count + 1)
+        | None -> (total, count))
+      (0.0, 0) t.completions
+  in
+  if count = 0 then nan else total /. Float.of_int count

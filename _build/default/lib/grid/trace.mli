@@ -1,0 +1,59 @@
+(** Execution traces: everything the simulated pipeline emits.
+
+    The trace is both the measurement instrument (throughput, completion
+    time, per-stage service samples feed the experiments) and the
+    observability channel the adaptive engine itself uses (windowed output
+    rate). *)
+
+type service = { item : int; stage : int; node : int; start : float; finish : float }
+type transfer = { item : int; from_stage : int; src : int; dst : int; start : float; finish : float }
+type adaptation = {
+  at : float;
+  mapping_before : int array;
+  mapping_after : int array;
+  predicted_gain : float;
+  migration_cost : float;
+}
+
+type t
+
+val create : unit -> t
+
+val record_service : t -> service -> unit
+val record_transfer : t -> transfer -> unit
+val record_completion : t -> item:int -> time:float -> unit
+val record_adaptation : t -> adaptation -> unit
+
+val completions : t -> (int * float) array
+(** (item, departure time), in departure order. *)
+
+val items_completed : t -> int
+
+val makespan : t -> float
+(** Time of the last completion (0 if none). *)
+
+val throughput : t -> float
+(** [items_completed / makespan]; 0 when nothing completed. *)
+
+val throughput_after : t -> float -> float
+(** [throughput_after t t0] — steady-state estimate ignoring completions
+    before [t0] (pipeline fill). *)
+
+val throughput_series : t -> window:float -> (float * float) array
+(** Windowed output rate: for each window [\[k·w, (k+1)·w)], the number of
+    completions divided by [w], stamped at the window's midpoint. *)
+
+val services : t -> service list
+(** In recording order. *)
+
+val service_times : t -> stage:int -> float array
+(** Durations of every service of [stage]. *)
+
+val services_on_node : t -> node:int -> int
+val transfers : t -> transfer list
+val adaptations : t -> adaptation list
+(** In time order. *)
+
+val mean_sojourn : t -> float
+(** Mean time between an item's first service start and its completion
+    ([nan] if nothing completed). *)

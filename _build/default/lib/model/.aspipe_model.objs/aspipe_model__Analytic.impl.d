@@ -1,0 +1,1 @@
+lib/model/analytic.ml: Array Costspec Float Format Fun List Mapping

@@ -1,0 +1,1 @@
+lib/model/analytic.mli: Costspec Format Mapping

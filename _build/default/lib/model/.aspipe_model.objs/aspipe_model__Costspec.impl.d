@@ -1,0 +1,1 @@
+lib/model/costspec.ml: Array Aspipe_grid Aspipe_skel Float Mapping

@@ -1,0 +1,1 @@
+lib/model/costspec.mli: Aspipe_grid Aspipe_skel Mapping

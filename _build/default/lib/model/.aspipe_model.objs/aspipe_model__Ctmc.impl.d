@@ -1,0 +1,1 @@
+lib/model/ctmc.ml: Array Costspec Float List

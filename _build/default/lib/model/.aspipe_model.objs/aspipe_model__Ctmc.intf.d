@@ -1,0 +1,1 @@
+lib/model/ctmc.mli: Costspec Mapping

@@ -1,0 +1,1 @@
+lib/model/farm_model.ml: Array Float List

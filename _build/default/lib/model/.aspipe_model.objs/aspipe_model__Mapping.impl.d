@@ -1,0 +1,1 @@
+lib/model/mapping.ml: Array Aspipe_util Float Format List String

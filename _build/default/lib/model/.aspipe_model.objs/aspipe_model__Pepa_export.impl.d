@@ -1,0 +1,1 @@
+lib/model/pepa_export.ml: Buffer Costspec List Mapping Printf String

@@ -1,0 +1,1 @@
+lib/model/pepa_export.mli: Costspec Mapping

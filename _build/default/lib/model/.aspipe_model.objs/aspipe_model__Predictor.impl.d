@@ -1,0 +1,1 @@
+lib/model/predictor.ml: Analytic Costspec Ctmc Float List Search

@@ -1,0 +1,1 @@
+lib/model/repl_model.ml: Array Costspec Float Fun List

@@ -1,0 +1,1 @@
+lib/model/repl_model.mli: Costspec

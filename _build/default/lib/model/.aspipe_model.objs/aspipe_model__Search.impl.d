@@ -1,0 +1,1 @@
+lib/model/search.ml: Array Float List Mapping

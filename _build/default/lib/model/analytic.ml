@@ -1,0 +1,74 @@
+type bottleneck = Processor of int | Stage_cycle of int
+
+let pp_bottleneck ppf = function
+  | Processor p -> Format.fprintf ppf "processor %d" p
+  | Stage_cycle i -> Format.fprintf ppf "stage %d cycle" i
+
+let stage_cycle_time spec m i =
+  let service =
+    let rate = Costspec.service_rate spec m i in
+    if rate = infinity then 0.0 else 1.0 /. rate
+  in
+  let move_out =
+    let rate = Costspec.move_rate spec m (i + 1) in
+    if rate = infinity then 0.0 else 1.0 /. rate
+  in
+  service +. move_out
+
+(* Every station with its items/s capacity under [m]. *)
+let stations spec m =
+  let ns = Costspec.stages spec in
+  let np = Costspec.processors spec in
+  let work_per_processor = Array.make np 0.0 in
+  Array.iteri
+    (fun i w ->
+      let p = Mapping.processor_of m i in
+      work_per_processor.(p) <- work_per_processor.(p) +. w)
+    spec.Costspec.stage_work;
+  let processor_stations =
+    List.filter_map
+      (fun p ->
+        if work_per_processor.(p) <= 0.0 then None
+        else Some (Processor p, spec.Costspec.node_rates.(p) /. work_per_processor.(p)))
+      (List.init np Fun.id)
+  in
+  let cycle_stations =
+    List.map
+      (fun i ->
+        let cycle = stage_cycle_time spec m i in
+        (Stage_cycle i, if cycle <= 0.0 then infinity else 1.0 /. cycle))
+      (List.init ns Fun.id)
+  in
+  processor_stations @ cycle_stations
+
+let bottleneck spec m =
+  match stations spec m with
+  | [] -> invalid_arg "Analytic.bottleneck: no stations"
+  | first :: rest ->
+      List.fold_left (fun (bs, br) (s, r) -> if r < br then (s, r) else (bs, br)) first rest
+
+let throughput spec m = snd (bottleneck spec m)
+
+let fill_latency spec m =
+  let ns = Costspec.stages spec in
+  let services =
+    List.fold_left
+      (fun acc i ->
+        let rate = Costspec.service_rate spec m i in
+        acc +. (if rate = infinity then 0.0 else 1.0 /. rate))
+      0.0 (List.init ns Fun.id)
+  in
+  let moves =
+    List.fold_left
+      (fun acc i ->
+        let rate = Costspec.move_rate spec m i in
+        acc +. (if rate = infinity then 0.0 else 1.0 /. rate))
+      0.0
+      (List.init (ns + 1) Fun.id)
+  in
+  services +. moves
+
+let completion_time spec m ~items =
+  if items <= 0 then invalid_arg "Analytic.completion_time: items must be positive";
+  let x = throughput spec m in
+  fill_latency spec m +. (Float.of_int (items - 1) /. x)

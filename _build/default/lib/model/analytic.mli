@@ -1,0 +1,36 @@
+(** The fast mapping evaluator: steady-state pipeline throughput by
+    bottleneck analysis.
+
+    Two families of stations bound the output rate:
+
+    - every {e processor} serves the total work of the stages mapped to it:
+      capacity [node_rate / Σ work];
+    - every {e stage cycle} — a stage processes an item and then performs its
+      synchronous output move before accepting the next: capacity
+      [1 / (shared service time + output transfer time)].
+
+    In steady state a saturated [Pipeline1for1] cannot beat its slowest
+    station, and the bound is tight up to queueing noise — experiment E1
+    quantifies this against the simulator and the CTMC. O(Ns + Np) per
+    evaluation, so mapping search can afford thousands of calls. *)
+
+type bottleneck = Processor of int | Stage_cycle of int
+
+val throughput : Costspec.t -> Mapping.t -> float
+(** Predicted items/second. *)
+
+val bottleneck : Costspec.t -> Mapping.t -> bottleneck * float
+(** The binding station and its capacity. *)
+
+val stage_cycle_time : Costspec.t -> Mapping.t -> int -> float
+(** Shared service time plus output-move time of stage [i]. *)
+
+val fill_latency : Costspec.t -> Mapping.t -> float
+(** Time for the first item to traverse an empty pipeline (one service and
+    one move per stage, plus the input move, uncontended). *)
+
+val completion_time : Costspec.t -> Mapping.t -> items:int -> float
+(** Estimated makespan for a finite input set: fill latency plus
+    [(items − 1)] bottleneck periods. *)
+
+val pp_bottleneck : Format.formatter -> bottleneck -> unit

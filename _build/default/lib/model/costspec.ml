@@ -1,0 +1,116 @@
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Link = Aspipe_grid.Link
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+
+type t = {
+  stage_work : float array;
+  node_rates : float array;
+  item_bytes : float;
+  output_bytes : float array;
+  latency : float array array;
+  bandwidth : float array array;
+  user_latency : float array;
+  user_bandwidth : float array;
+}
+
+let processors t = Array.length t.node_rates
+let stages t = Array.length t.stage_work
+
+let validate t =
+  let np = processors t and ns = stages t in
+  if ns = 0 || np = 0 then invalid_arg "Costspec: empty dimensions";
+  if Array.length t.output_bytes <> ns then invalid_arg "Costspec: output_bytes length";
+  let check_matrix name m =
+    if Array.length m <> np then invalid_arg ("Costspec: " ^ name ^ " rows");
+    Array.iter (fun row -> if Array.length row <> np then invalid_arg ("Costspec: " ^ name ^ " cols")) m
+  in
+  check_matrix "latency" t.latency;
+  check_matrix "bandwidth" t.bandwidth;
+  if Array.length t.user_latency <> np || Array.length t.user_bandwidth <> np then
+    invalid_arg "Costspec: user link vectors";
+  Array.iter (fun r -> if r < 0.0 then invalid_arg "Costspec: negative node rate") t.node_rates;
+  Array.iter (fun w -> if w < 0.0 then invalid_arg "Costspec: negative stage work") t.stage_work;
+  Array.iter
+    (Array.iter (fun b -> if b <= 0.0 then invalid_arg "Costspec: bandwidth must be positive"))
+    t.bandwidth;
+  Array.iter
+    (fun b -> if b <= 0.0 then invalid_arg "Costspec: user bandwidth must be positive")
+    t.user_bandwidth
+
+let of_topology ?availability ?link_quality ?user_link_quality ~topo ~stages ~input () =
+  let np = Topology.size topo in
+  let avail =
+    match availability with
+    | Some f -> f
+    | None -> fun i -> Node.availability (Topology.node topo i)
+  in
+  let quality =
+    match link_quality with
+    | Some f -> f
+    | None -> fun ~src ~dst -> Link.quality (Topology.link topo ~src ~dst)
+  in
+  let user_quality =
+    match user_link_quality with
+    | Some f -> f
+    | None -> fun i -> Link.quality (Topology.user_link topo i)
+  in
+  let clamp q = Float.max 0.01 q in
+  let spec =
+    {
+      stage_work = Array.map Stage.mean_work stages;
+      node_rates =
+        Array.init np (fun i -> Node.base_speed (Topology.node topo i) *. avail i);
+      item_bytes = input.Stream_spec.item_bytes;
+      output_bytes = Array.map (fun s -> s.Stage.output_bytes) stages;
+      latency =
+        Array.init np (fun src ->
+            Array.init np (fun dst ->
+                Link.latency (Topology.link topo ~src ~dst) /. clamp (quality ~src ~dst)));
+      bandwidth =
+        Array.init np (fun src ->
+            Array.init np (fun dst ->
+                Link.bandwidth (Topology.link topo ~src ~dst) *. clamp (quality ~src ~dst)));
+      user_latency =
+        Array.init np (fun i ->
+            Link.latency (Topology.user_link topo i) /. clamp (user_quality i));
+      user_bandwidth =
+        Array.init np (fun i ->
+            Link.bandwidth (Topology.user_link topo i) *. clamp (user_quality i));
+    }
+  in
+  validate spec;
+  spec
+
+let with_stage_work t stage_work =
+  if Array.length stage_work <> stages t then
+    invalid_arg "Costspec.with_stage_work: length mismatch";
+  { t with stage_work }
+
+let service_rate t m i =
+  let p = Mapping.processor_of m i in
+  let sharing = Float.of_int (Mapping.stages_sharing m i) in
+  let work = t.stage_work.(i) in
+  if work <= 0.0 then infinity else t.node_rates.(p) /. (work *. sharing)
+
+let transfer_cost t ~src ~dst ~bytes = t.latency.(src).(dst) +. (bytes /. t.bandwidth.(src).(dst))
+
+let move_rate t m i =
+  let ns = stages t in
+  if i < 0 || i > ns then invalid_arg "Costspec.move_rate: index out of range";
+  let time =
+    if i = 0 then begin
+      let p = Mapping.processor_of m 0 in
+      t.user_latency.(p) +. (t.item_bytes /. t.user_bandwidth.(p))
+    end
+    else if i = ns then begin
+      let p = Mapping.processor_of m (ns - 1) in
+      t.user_latency.(p) +. (t.output_bytes.(ns - 1) /. t.user_bandwidth.(p))
+    end
+    else begin
+      let src = Mapping.processor_of m (i - 1) and dst = Mapping.processor_of m i in
+      transfer_cost t ~src ~dst ~bytes:t.output_bytes.(i - 1)
+    end
+  in
+  if time <= 0.0 then infinity else 1.0 /. time

@@ -1,0 +1,53 @@
+(** The performance model's view of the world: per-stage mean work, per-node
+    effective rates, and the full network cost matrices. Built either from
+    ground truth (model-validation experiments) or from monitor forecasts and
+    calibration estimates (what the adaptive engine actually sees). *)
+
+type t = {
+  stage_work : float array;  (** mean work units per item, per stage *)
+  node_rates : float array;  (** effective work units per second, per node *)
+  item_bytes : float;  (** payload of one input item on the user link *)
+  output_bytes : float array;  (** per-stage downstream payload *)
+  latency : float array array;  (** seconds, \[src\].\[dst\]; diagonal = local *)
+  bandwidth : float array array;  (** bytes per second *)
+  user_latency : float array;  (** user ↔ node i *)
+  user_bandwidth : float array;
+}
+
+val processors : t -> int
+val stages : t -> int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on dimension mismatches or non-positive rates. *)
+
+val of_topology :
+  ?availability:(int -> float) ->
+  ?link_quality:(src:int -> dst:int -> float) ->
+  ?user_link_quality:(int -> float) ->
+  topo:Aspipe_grid.Topology.t ->
+  stages:Aspipe_skel.Stage.t array ->
+  input:Aspipe_skel.Stream_spec.t ->
+  unit ->
+  t
+(** Snapshot of a live topology. [availability] overrides the per-node
+    availability used to derive rates, and [link_quality] /
+    [user_link_quality] override the link qualities scaling every latency
+    and bandwidth (defaults: current ground truth); pass the corresponding
+    [Aspipe_grid.Monitor] forecasts to build the belief-based spec the
+    adaptive engine works from. Stage work means come from the stage specs'
+    distributions. *)
+
+val with_stage_work : t -> float array -> t
+(** Replace the work vector (e.g. with calibrated estimates). *)
+
+val service_rate : t -> Mapping.t -> int -> float
+(** [service_rate spec m i] is μ_i: stage [i]'s processing rate (items/s)
+    under mapping [m], assuming equitable sharing of the processor among the
+    stages mapped to it. *)
+
+val move_rate : t -> Mapping.t -> int -> float
+(** [move_rate spec m i] is λ_i for [i] in [0 .. Ns]: rate of the [move_i]
+    connection — [i = 0] is user → stage 0's node, [i = Ns] is the last
+    node → user, and interior [i] links stage [i-1]'s node to stage [i]'s. *)
+
+val transfer_cost : t -> src:int -> dst:int -> bytes:float -> float

@@ -1,0 +1,48 @@
+type t = { work : float; node_rates : float array }
+
+let make ~work ~node_rates =
+  if work <= 0.0 then invalid_arg "Farm_model.make: work must be positive";
+  Array.iter (fun r -> if r < 0.0 then invalid_arg "Farm_model.make: negative rate") node_rates;
+  { work; node_rates = Array.copy node_rates }
+
+let worker_rate t w =
+  if w < 0 || w >= Array.length t.node_rates then invalid_arg "Farm_model.worker_rate";
+  t.node_rates.(w) /. t.work
+
+let round_robin_throughput t ~workers =
+  match workers with
+  | [] -> 0.0
+  | _ ->
+      let slowest = List.fold_left (fun acc w -> Float.min acc (worker_rate t w)) infinity workers in
+      Float.of_int (List.length workers) *. slowest
+
+let proportional_throughput t ~workers =
+  List.fold_left (fun acc w -> acc +. worker_rate t w) 0.0 workers
+
+let best_round_robin_set t ~candidates =
+  if candidates = [] then invalid_arg "Farm_model.best_round_robin_set: no candidates";
+  (* Sort fastest first (ties by node id for determinism); the best equal-share
+     deal is always a prefix of this order. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare (worker_rate t b) (worker_rate t a) with
+        | 0 -> compare a b
+        | c -> c)
+      candidates
+  in
+  let best_set = ref [ List.hd sorted ] in
+  let best_score = ref (worker_rate t (List.hd sorted)) in
+  let rec scan k prefix = function
+    | [] -> ()
+    | w :: rest ->
+        let prefix = w :: prefix in
+        let score = Float.of_int k *. worker_rate t w in
+        if score > !best_score then begin
+          best_score := score;
+          best_set := prefix
+        end;
+        scan (k + 1) prefix rest
+  in
+  scan 2 [ List.hd sorted ] (List.tl sorted);
+  (List.sort compare !best_set, !best_score)

@@ -1,0 +1,31 @@
+(** Performance model of the simulated task farm.
+
+    Under round-robin dispatch every worker receives an equal share of the
+    stream, so the farm saturates when the {e slowest selected worker}
+    saturates: X = n · min rate. Under least-loaded dispatch work flows
+    proportionally and capacity adds up: X = Σ rates. The adaptive farm
+    engine uses {!best_round_robin_set} to decide which workers a round-robin
+    deal should currently include — the stage-replication analogue of the
+    pipeline's mapping search. *)
+
+type t = {
+  work : float;  (** mean work units per item *)
+  node_rates : float array;  (** effective work units/s per node *)
+}
+
+val make : work:float -> node_rates:float array -> t
+(** Raises [Invalid_argument] if [work <= 0] or any rate is negative. *)
+
+val worker_rate : t -> int -> float
+(** Items/s worker [w] can sustain alone. *)
+
+val round_robin_throughput : t -> workers:int list -> float
+(** [|workers| × min rate] — equal shares bind at the slowest member. *)
+
+val proportional_throughput : t -> workers:int list -> float
+(** [Σ rates] — the least-loaded / work-stealing capacity. *)
+
+val best_round_robin_set : t -> candidates:int list -> int list * float
+(** The subset of [candidates] maximizing round-robin throughput: sort by
+    rate descending and take the prefix whose [k × rate_k] is maximal.
+    Deterministic; raises [Invalid_argument] on an empty candidate list. *)

@@ -1,0 +1,90 @@
+type t = int array
+
+let of_array ~processors a =
+  if Array.length a = 0 then invalid_arg "Mapping.of_array: empty";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= processors then invalid_arg "Mapping.of_array: processor out of range")
+    a;
+  Array.copy a
+
+let to_array t = Array.copy t
+let stages t = Array.length t
+let processor_of t i = t.(i)
+let equal (a : t) (b : t) = a = b
+
+let to_string t =
+  "(" ^ String.concat "," (List.map string_of_int (Array.to_list t)) ^ ")"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let round_robin ~stages ~processors =
+  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.round_robin";
+  Array.init stages (fun i -> i mod processors)
+
+let all_on ~stages ~processor ~processors =
+  if processor < 0 || processor >= processors then invalid_arg "Mapping.all_on";
+  Array.make stages processor
+
+let random rng ~stages ~processors =
+  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.random";
+  Array.init stages (fun _ -> Aspipe_util.Rng.int rng processors)
+
+let blocks ~stages ~processors =
+  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.blocks";
+  let groups = min stages processors in
+  (* Even split: the first [stages mod groups] blocks get one extra stage. *)
+  let base = stages / groups and extra = stages mod groups in
+  let boundaries = Array.make (groups + 1) 0 in
+  for g = 1 to groups do
+    boundaries.(g) <- boundaries.(g - 1) + base + (if g <= extra then 1 else 0)
+  done;
+  Array.init stages (fun i ->
+      let rec find g = if i < boundaries.(g + 1) then g else find (g + 1) in
+      find 0)
+
+let enumerate ?fix_first_on ~stages ~processors () =
+  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.enumerate";
+  let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
+  let count = Float.of_int processors ** Float.of_int free in
+  if count > Float.of_int (1 lsl 22) then
+    invalid_arg "Mapping.enumerate: assignment space too large";
+  let total = int_of_float count in
+  List.init total (fun code ->
+      let m = Array.make stages 0 in
+      let start =
+        match fix_first_on with
+        | Some p ->
+            m.(0) <- p;
+            1
+        | None -> 0
+      in
+      let rest = ref code in
+      for i = start to stages - 1 do
+        m.(i) <- !rest mod processors;
+        rest := !rest / processors
+      done;
+      m)
+
+let neighbours t ~processors =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      for q = 0 to processors - 1 do
+        if q <> p then begin
+          let m = Array.copy t in
+          m.(i) <- q;
+          acc := m :: !acc
+        end
+      done)
+    t;
+  List.rev !acc
+
+let colocation t ~processors =
+  let counts = Array.make processors 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) t;
+  counts
+
+let stages_sharing t i =
+  let p = t.(i) in
+  Array.fold_left (fun acc q -> if q = p then acc + 1 else acc) 0 t

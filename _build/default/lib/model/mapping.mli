@@ -1,0 +1,46 @@
+(** Stage→processor assignments.
+
+    A mapping for an [Ns]-stage pipeline over [Np] processors is an array of
+    length [Ns] whose [i]-th entry names the processor hosting stage [i].
+    Written [(p₀,p₁,…)] as in the skeleton-scheduling literature — e.g.
+    [(0,0,1)] runs the first two stages on processor 0 and the third on
+    processor 1. *)
+
+type t = private int array
+
+val of_array : processors:int -> int array -> t
+(** Validates every entry lies in [\[0, processors)]. *)
+
+val to_array : t -> int array
+val stages : t -> int
+val processor_of : t -> int -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val round_robin : stages:int -> processors:int -> t
+(** Stage [i] on processor [i mod processors]. *)
+
+val all_on : stages:int -> processor:int -> processors:int -> t
+
+val random : Aspipe_util.Rng.t -> stages:int -> processors:int -> t
+
+val blocks : stages:int -> processors:int -> t
+(** Contiguous blocks: stages split as evenly as possible into [processors]
+    consecutive groups — the classic static block mapping baseline. *)
+
+val enumerate : ?fix_first_on:int -> stages:int -> processors:int -> unit -> t list
+(** Every assignment ([processors]^[stages] of them, or a factor fewer with
+    [fix_first_on] pinning stage 0, as the paper's tables do).
+    Raises [Invalid_argument] if the space exceeds [2^22] mappings. *)
+
+val neighbours : t -> processors:int -> t list
+(** All mappings differing in exactly one stage's processor. *)
+
+val colocation : t -> processors:int -> int array
+(** [colocation m ~processors] gives, per processor, the number of stages it
+    hosts. *)
+
+val stages_sharing : t -> int -> int
+(** [stages_sharing m i] is the number of stages (≥ 1) on stage [i]'s
+    processor, including stage [i]. *)

@@ -1,0 +1,63 @@
+let rate_table spec m =
+  let ns = Costspec.stages spec in
+  let mus =
+    List.init ns (fun i -> (Printf.sprintf "mu%d" (i + 1), Costspec.service_rate spec m i))
+  in
+  let lambdas =
+    List.init (ns + 1) (fun i ->
+        (Printf.sprintf "lambda%d" (i + 1), Costspec.move_rate spec m i))
+  in
+  mus @ lambdas
+
+let finite_rate r = if r = infinity then 1e12 else r
+
+let pipeline spec m =
+  let ns = Costspec.stages spec in
+  let np = Costspec.processors spec in
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "// Pipeline skeleton model exported by aspipe\n";
+  out "// mapping %s over %d processors\n\n" (Mapping.to_string m) np;
+  List.iter (fun (name, rate) -> out "%s = %g;\n" name (finite_rate rate)) (rate_table spec m);
+  out "\n";
+  (* Stages: cycle through their input move, processing, and output move. *)
+  for i = 1 to ns do
+    out "Stage%d = (move%d, infty).(process%d, infty).(move%d, infty).Stage%d;\n" i i i (i + 1) i
+  done;
+  out "\n";
+  (* Processors: a choice over the process activities of their stages. *)
+  for p = 0 to np - 1 do
+    let hosted =
+      List.filter (fun i -> Mapping.processor_of m (i - 1) = p) (List.init ns (fun i -> i + 1))
+    in
+    match hosted with
+    | [] -> ()
+    | _ ->
+        let alternatives =
+          List.map
+            (fun i -> Printf.sprintf "(process%d, mu%d).Processor%d" i i (p + 1))
+            hosted
+        in
+        out "Processor%d = %s;\n" (p + 1) (String.concat " + " alternatives)
+  done;
+  out "\n";
+  let moves = List.init (ns + 1) (fun i -> Printf.sprintf "(move%d, lambda%d).Network" (i + 1) (i + 1)) in
+  out "Network = %s;\n\n" (String.concat " + " moves);
+  (* The pipeline: stages cooperating pairwise over the interior moves. *)
+  let rec chain i =
+    if i = ns then Printf.sprintf "Stage%d" i
+    else Printf.sprintf "Stage%d <move%d> (%s)" i (i + 1) (chain (i + 1))
+  in
+  out "Pipeline = %s;\n" (chain 1);
+  let used_processors =
+    List.sort_uniq compare (List.init ns (fun i -> Mapping.processor_of m i))
+  in
+  let processors =
+    String.concat " || " (List.map (fun p -> Printf.sprintf "Processor%d" (p + 1)) used_processors)
+  in
+  let process_set = String.concat ", " (List.init ns (fun i -> Printf.sprintf "process%d" (i + 1))) in
+  let move_set = String.concat ", " (List.init (ns + 1) (fun i -> Printf.sprintf "move%d" (i + 1))) in
+  out "Processors = %s;\n\n" processors;
+  out "Mapping = Network <%s> Pipeline <%s> Processors;\n\n" move_set process_set;
+  out "// measure: throughput of process1 (steady-state rate of the first stage)\n";
+  Buffer.contents buffer

@@ -1,0 +1,29 @@
+(** Ties the cost spec, the evaluators and the search together: the component
+    the adaptive engine calls when it must answer "which mapping should the
+    pipeline be running, given what the monitors currently believe?". *)
+
+type kind = Analytic | Ctmc
+(** Which evaluator scores candidate mappings. [Analytic] is O(Ns) per
+    candidate; [Ctmc] is exact under exponential assumptions but costs
+    3^Ns states per candidate. *)
+
+type t
+
+val make : ?kind:kind -> Costspec.t -> t
+(** Default [Analytic]. *)
+
+val kind : t -> kind
+val spec : t -> Costspec.t
+
+val evaluate : t -> Mapping.t -> float
+(** Predicted steady-state throughput (items/s). *)
+
+val choose : ?fix_first_on:int -> t -> Search.result
+(** Best mapping over the full space via {!Search.auto}. *)
+
+val rank : t -> Mapping.t list -> (Mapping.t * float) list
+(** Candidates with scores, best first; deterministic for equal scores. *)
+
+val predicted_completion : t -> Mapping.t -> items:int -> float
+(** Makespan estimate ({!Analytic.completion_time}, regardless of [kind],
+    with the CTMC throughput substituted when [kind = Ctmc]). *)

@@ -1,0 +1,72 @@
+let node_share ~replicas ~processors =
+  let counts = Array.make processors 0 in
+  Array.iter
+    (fun nodes ->
+      List.iter
+        (fun n ->
+          if n < 0 || n >= processors then invalid_arg "Repl_model: node out of range";
+          counts.(n) <- counts.(n) + 1)
+        nodes)
+    replicas;
+  counts
+
+let validate spec replicas =
+  if Array.length replicas <> Costspec.stages spec then
+    invalid_arg "Repl_model: one replica set per stage required";
+  Array.iter (fun nodes -> if nodes = [] then invalid_arg "Repl_model: empty replica set") replicas
+
+let stage_capacity spec ~replicas i =
+  validate spec replicas;
+  let processors = Costspec.processors spec in
+  let counts = node_share ~replicas ~processors in
+  let work = spec.Costspec.stage_work.(i) in
+  if work <= 0.0 then infinity
+  else
+    List.fold_left
+      (fun acc node ->
+        acc +. (spec.Costspec.node_rates.(node) /. Float.of_int counts.(node) /. work))
+      0.0 replicas.(i)
+
+let throughput spec ~replicas =
+  validate spec replicas;
+  let ns = Costspec.stages spec in
+  let rec scan i acc =
+    if i = ns then acc else scan (i + 1) (Float.min acc (stage_capacity spec ~replicas i))
+  in
+  scan 0 infinity
+
+let completion_time spec ~replicas ~items =
+  if items <= 0 then invalid_arg "Repl_model.completion_time: items must be positive";
+  let x = throughput spec ~replicas in
+  let ns = Costspec.stages spec in
+  (* One traversal: each stage at its fastest replica's share. *)
+  let fill =
+    List.fold_left
+      (fun acc i ->
+        let capacity = stage_capacity spec ~replicas i in
+        acc +. (if capacity = infinity then 0.0 else 1.0 /. capacity))
+      0.0 (List.init ns Fun.id)
+  in
+  fill +. (Float.of_int (items - 1) /. x)
+
+let best_replication spec ~budget ~processors =
+  let ns = Costspec.stages spec in
+  if processors < ns then invalid_arg "Repl_model.best_replication: need at least one node per stage";
+  if budget < ns then invalid_arg "Repl_model.best_replication: budget below one replica per stage";
+  let replicas = Array.init ns (fun i -> [ i mod processors ]) in
+  let counts () = node_share ~replicas ~processors in
+  for _ = 1 to budget - ns do
+    (* Give the bottleneck stage one more replica on the least-loaded node. *)
+    let bottleneck = ref 0 in
+    for i = 1 to ns - 1 do
+      if stage_capacity spec ~replicas i < stage_capacity spec ~replicas !bottleneck then
+        bottleneck := i
+    done;
+    let shares = counts () in
+    let target = ref 0 in
+    for n = 1 to processors - 1 do
+      if shares.(n) < shares.(!target) then target := n
+    done;
+    replicas.(!bottleneck) <- List.sort_uniq compare (!target :: replicas.(!bottleneck))
+  done;
+  (Array.copy replicas, throughput spec ~replicas)

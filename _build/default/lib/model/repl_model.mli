@@ -1,0 +1,28 @@
+(** Performance model of pipelines with replicated stages ({!Aspipe_skel.Repl_sim}).
+
+    A node serving assignments from several stages splits its rate equally
+    among them; a stage's capacity is the sum of its replicas' shares divided
+    by its work. With demand-driven dealing and asynchronous sends, steady
+    throughput is the minimum stage capacity. *)
+
+val node_share : replicas:int list array -> processors:int -> int array
+(** How many (stage, replica) assignments each node carries. *)
+
+val stage_capacity : Costspec.t -> replicas:int list array -> int -> float
+(** Items/s stage [i] can sustain given everyone's replica sets. *)
+
+val throughput : Costspec.t -> replicas:int list array -> float
+(** min over stages of {!stage_capacity}.
+    Raises [Invalid_argument] on dimension errors or empty replica sets. *)
+
+val completion_time : Costspec.t -> replicas:int list array -> items:int -> float
+(** Rough makespan: one traversal of the empty pipeline plus
+    [(items − 1)] bottleneck periods. *)
+
+val best_replication :
+  Costspec.t -> budget:int -> processors:int -> int list array * float
+(** Greedy replica assignment: every stage starts with one replica on its
+    own processor (round-robin, error if [processors < stages]); the
+    remaining [budget − Ns] replicas go one at a time to the current
+    bottleneck stage, each on the least-loaded node. Returns the sets and
+    the predicted throughput. *)

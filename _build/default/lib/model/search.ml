@@ -1,0 +1,81 @@
+type evaluator = Mapping.t -> float
+
+type result = { mapping : Mapping.t; score : float; evaluated : int }
+
+let best_of candidates evaluator =
+  match candidates with
+  | [] -> invalid_arg "Search.best_of: no candidates"
+  | first :: rest ->
+      let count = ref 1 in
+      let best =
+        List.fold_left
+          (fun (bm, bs) m ->
+            incr count;
+            let s = evaluator m in
+            if s > bs then (m, s) else (bm, bs))
+          (first, evaluator first) rest
+      in
+      { mapping = fst best; score = snd best; evaluated = !count }
+
+let exhaustive ?fix_first_on ~stages ~processors evaluator =
+  best_of (Mapping.enumerate ?fix_first_on ~stages ~processors ()) evaluator
+
+let greedy ~stages ~processors evaluator =
+  if stages <= 0 || processors <= 0 then invalid_arg "Search.greedy";
+  let assignment = Array.make stages 0 in
+  let evaluated = ref 0 in
+  for i = 0 to stages - 1 do
+    let best_processor = ref 0 and best_score = ref neg_infinity in
+    for p = 0 to processors - 1 do
+      assignment.(i) <- p;
+      (* Remaining stages ride along on processor p for the tentative score. *)
+      for j = i + 1 to stages - 1 do
+        assignment.(j) <- p
+      done;
+      let score = evaluator (Mapping.of_array ~processors assignment) in
+      incr evaluated;
+      if score > !best_score then begin
+        best_score := score;
+        best_processor := p
+      end
+    done;
+    assignment.(i) <- !best_processor;
+    for j = i + 1 to stages - 1 do
+      assignment.(j) <- !best_processor
+    done
+  done;
+  let mapping = Mapping.of_array ~processors assignment in
+  { mapping; score = evaluator mapping; evaluated = !evaluated + 1 }
+
+let hill_climb ?(max_steps = 1000) ~start ~processors evaluator =
+  let evaluated = ref 1 in
+  let rec climb mapping score steps =
+    if steps >= max_steps then { mapping; score; evaluated = !evaluated }
+    else begin
+      let candidates = Mapping.neighbours mapping ~processors in
+      let better =
+        List.fold_left
+          (fun acc m ->
+            let s = evaluator m in
+            incr evaluated;
+            match acc with
+            | Some (_, bs) when bs >= s -> acc
+            | _ when s > score -> Some (m, s)
+            | acc -> acc)
+          None candidates
+      in
+      match better with
+      | None -> { mapping; score; evaluated = !evaluated }
+      | Some (m, s) -> climb m s (steps + 1)
+    end
+  in
+  climb start (evaluator start) 0
+
+let auto ?(exhaustive_limit = 20_000) ~stages ~processors evaluator =
+  let space = Float.of_int processors ** Float.of_int stages in
+  if space <= Float.of_int exhaustive_limit then exhaustive ~stages ~processors evaluator
+  else begin
+    let greedy_result = greedy ~stages ~processors evaluator in
+    let refined = hill_climb ~start:greedy_result.mapping ~processors evaluator in
+    { refined with evaluated = refined.evaluated + greedy_result.evaluated }
+  end

@@ -1,0 +1,35 @@
+(** Mapping search: given an evaluator (predicted throughput, higher is
+    better), find a good stage→processor assignment.
+
+    Exhaustive search reproduces the paper-scale behaviour (enumerate all
+    Np^Ns candidates, pick the best); greedy and hill-climbing keep the
+    decision path sub-second when the space explodes, which experiment E6
+    quantifies. *)
+
+type evaluator = Mapping.t -> float
+
+type result = { mapping : Mapping.t; score : float; evaluated : int }
+
+val exhaustive :
+  ?fix_first_on:int -> stages:int -> processors:int -> evaluator -> result
+(** Scores the full assignment space. Ties break toward the first candidate
+    in enumeration order, so results are deterministic. *)
+
+val greedy : stages:int -> processors:int -> evaluator -> result
+(** Builds the mapping stage by stage, placing each stage on the processor
+    that maximizes the evaluator applied to the partial pipeline (remaining
+    stages tentatively on the last chosen processor). O(Ns·Np) evaluations. *)
+
+val hill_climb :
+  ?max_steps:int -> start:Mapping.t -> processors:int -> evaluator -> result
+(** Steepest-ascent over the single-stage-move neighbourhood from [start];
+    stops at a local optimum or after [max_steps] (default 1000) moves. *)
+
+val auto :
+  ?exhaustive_limit:int -> stages:int -> processors:int -> evaluator -> result
+(** Exhaustive when the space has at most [exhaustive_limit] (default 20000)
+    candidates, otherwise greedy refined by hill climbing — the policy the
+    adaptive engine uses. *)
+
+val best_of : Mapping.t list -> evaluator -> result
+(** Score an explicit candidate list (e.g. the paper's eight mappings). *)

@@ -1,0 +1,1 @@
+lib/skel/chan.ml: Condition Mutex Queue

@@ -1,0 +1,1 @@
+lib/skel/chan.mli:

@@ -1,0 +1,1 @@
+lib/skel/farm_mc.mli:

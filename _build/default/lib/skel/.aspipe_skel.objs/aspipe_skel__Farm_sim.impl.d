@@ -1,0 +1,1 @@
+lib/skel/farm_sim.ml: Array Aspipe_des Aspipe_grid Aspipe_util Float Format Hashtbl Int64 List Queue Stage Stream_spec

@@ -1,0 +1,1 @@
+lib/skel/farm_sim.mli: Aspipe_grid Aspipe_util Format Stage Stream_spec

@@ -1,0 +1,1 @@
+lib/skel/repl_sim.ml: Array Aspipe_des Aspipe_grid Aspipe_util Float Hashtbl Int64 List Queue Stage Stream_spec

@@ -1,0 +1,1 @@
+lib/skel/repl_sim.mli: Aspipe_grid Aspipe_util Stage Stream_spec

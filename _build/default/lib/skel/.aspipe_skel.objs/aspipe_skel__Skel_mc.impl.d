@@ -1,0 +1,1 @@
+lib/skel/skel_mc.ml: Chan Domain List Pipe Unix

@@ -1,0 +1,1 @@
+lib/skel/skel_mc.mli: Pipe

@@ -1,0 +1,1 @@
+lib/skel/skel_sim.ml: Array Aspipe_des Aspipe_grid Aspipe_util Float Hashtbl Int64 Queue Stage Stream_spec

@@ -1,0 +1,1 @@
+lib/skel/skel_sim.mli: Aspipe_grid Aspipe_util Stage Stream_spec

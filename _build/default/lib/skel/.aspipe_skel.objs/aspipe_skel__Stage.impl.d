@@ -1,0 +1,1 @@
+lib/skel/stage.ml: Array Aspipe_util Format Printf

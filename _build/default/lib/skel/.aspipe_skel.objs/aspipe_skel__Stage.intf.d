@@ -1,0 +1,1 @@
+lib/skel/stage.mli: Aspipe_util Format

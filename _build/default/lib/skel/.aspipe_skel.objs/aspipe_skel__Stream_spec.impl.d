@@ -1,0 +1,1 @@
+lib/skel/stream_spec.ml: Array Aspipe_util Float Format Printf

@@ -1,0 +1,1 @@
+lib/skel/stream_spec.mli: Aspipe_util Format

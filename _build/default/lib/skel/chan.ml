@@ -1,0 +1,90 @@
+exception Closed
+
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Chan.create: capacity must be positive";
+  {
+    capacity;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+let send t x =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      raise Closed
+    end
+    else if Queue.length t.queue >= t.capacity then begin
+      Condition.wait t.not_full t.mutex;
+      wait ()
+    end
+  in
+  wait ();
+  Queue.push x t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let recv t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let x = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      Some x
+    end
+    else if t.closed then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else begin
+      Condition.wait t.not_empty t.mutex;
+      wait ()
+    end
+  in
+  wait ()
+
+let try_recv t =
+  Mutex.lock t.mutex;
+  let result =
+    if Queue.is_empty t.queue then None
+    else begin
+      let x = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Some x
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

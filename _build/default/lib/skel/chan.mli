@@ -1,0 +1,29 @@
+(** Bounded blocking channels for inter-domain pipelines.
+
+    A multi-producer multi-consumer FIFO with a capacity bound (back
+    pressure: senders block when full) and a close protocol: after [close],
+    senders raise {!Closed} and receivers drain the remaining elements then
+    get [None]. This is the shared-memory analogue of the grid's inter-stage
+    links. *)
+
+type 'a t
+
+exception Closed
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val send : 'a t -> 'a -> unit
+(** Blocks while full. Raises {!Closed} if the channel was closed. *)
+
+val recv : 'a t -> 'a option
+(** Blocks while empty and open; [None] once closed and drained. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking; [None] when currently empty (even if open). *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes all blocked parties. *)
+
+val is_closed : 'a t -> bool
+val length : 'a t -> int

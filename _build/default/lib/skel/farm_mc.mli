@@ -1,0 +1,14 @@
+(** The task-farm skeleton on shared memory: a pool of worker domains pulls
+    independent tasks from a shared index and writes results in place, so the
+    output order always matches the input order. Used to parallelize a hot
+    pipeline stage (stage replication). *)
+
+val map : workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~workers f xs] applies [f] to every element using [workers] domains
+    (1 means: compute in the calling domain). Exceptions raised by [f] are
+    re-raised in the caller after all workers stop. *)
+
+val map_array : workers:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val pipeline_stage : workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Alias of {!map}; named for use as a replicated stage inside a pipeline. *)

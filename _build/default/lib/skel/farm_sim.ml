@@ -1,0 +1,170 @@
+module Engine = Aspipe_des.Engine
+module Server = Aspipe_des.Server
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Link = Aspipe_grid.Link
+module Trace = Aspipe_grid.Trace
+
+type dispatch = Round_robin | Least_loaded
+
+let pp_dispatch ppf = function
+  | Round_robin -> Format.pp_print_string ppf "round-robin"
+  | Least_loaded -> Format.pp_print_string ppf "least-loaded"
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  task : Stage.t;
+  work_seed : int;
+  dispatch : dispatch;
+  window : int;  (* demand-driven cap on per-worker outstanding (least-loaded) *)
+  input : Stream_spec.t;
+  backlog : int Queue.t;  (* arrived items not yet dealt to a worker *)
+  mutable worker_set : int list;  (* ascending *)
+  outstanding : int array;  (* per node *)
+  mutable rr_cursor : int;
+  (* Ordered emission: results buffered until all predecessors are out. *)
+  delivered : (int, float) Hashtbl.t;
+  mutable next_to_emit : int;
+  mutable emitted : int;
+}
+
+let validate_workers topo workers =
+  if workers = [] then invalid_arg "Farm_sim: empty worker set";
+  List.iter
+    (fun w ->
+      if w < 0 || w >= Topology.size topo then invalid_arg "Farm_sim: unknown worker node")
+    workers;
+  List.sort_uniq compare workers
+
+let workers t = t.worker_set
+
+let outstanding t node =
+  if node < 0 || node >= Array.length t.outstanding then invalid_arg "Farm_sim.outstanding";
+  t.outstanding.(node)
+
+(* Round-robin deals eagerly (equal shares, the classic deal); least-loaded
+   is demand-driven: an item is only dealt when some worker has fewer than
+   [window] items outstanding, so shares end up proportional to speed. *)
+let pick_worker t =
+  match t.dispatch with
+  | Round_robin ->
+      let n = List.length t.worker_set in
+      let w = List.nth t.worker_set (t.rr_cursor mod n) in
+      t.rr_cursor <- t.rr_cursor + 1;
+      Some w
+  | Least_loaded ->
+      let best =
+        List.fold_left
+          (fun best w -> if t.outstanding.(w) < t.outstanding.(best) then w else best)
+          (List.hd t.worker_set) (List.tl t.worker_set)
+      in
+      if t.outstanding.(best) < t.window then Some best else None
+
+(* Emit every contiguous result now available, stamping completions at the
+   current instant (the reorder buffer releases them together). *)
+let rec emit_ready t =
+  match Hashtbl.find_opt t.delivered t.next_to_emit with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.remove t.delivered t.next_to_emit;
+      Trace.record_completion t.trace ~item:t.next_to_emit ~time:(Engine.now t.engine);
+      t.emitted <- t.emitted + 1;
+      t.next_to_emit <- t.next_to_emit + 1;
+      emit_ready t
+
+let rec pump_dispatch t =
+  if not (Queue.is_empty t.backlog) then begin
+    match pick_worker t with
+    | None -> () (* every worker is at its window; a return will re-pump *)
+    | Some worker ->
+        let item = Queue.pop t.backlog in
+        dispatch_to t ~item ~worker;
+        pump_dispatch t
+  end
+
+and dispatch_to t ~item ~worker =
+  t.outstanding.(worker) <- t.outstanding.(worker) + 1;
+  let node = Topology.node t.topo worker in
+  let in_link = Topology.user_link t.topo worker in
+  Link.transfer in_link ~bytes:t.input.Stream_spec.item_bytes (fun () ->
+      (* Keyed on the item, so worker sets and dispatch orders are compared
+         on an identical workload realization. *)
+      let keyed = Rng.create (t.work_seed lxor (item * 0x9E3779)) in
+      let work = Float.max 0.0 (Variate.sample keyed t.task.Stage.work) in
+      let start = ref (Engine.now t.engine) in
+      Server.submit (Node.server node) ~work ~tag:item
+        ~on_start:(fun () -> start := Engine.now t.engine)
+        (fun () ->
+          Trace.record_service t.trace
+            { Trace.item; stage = 0; node = worker; start = !start; finish = Engine.now t.engine };
+          let out_link = Topology.user_link t.topo worker in
+          Link.transfer out_link ~bytes:t.task.Stage.output_bytes (fun () ->
+              t.outstanding.(worker) <- t.outstanding.(worker) - 1;
+              Hashtbl.replace t.delivered item (Engine.now t.engine);
+              emit_ready t;
+              pump_dispatch t)))
+
+let assign t ~item =
+  Queue.push item t.backlog;
+  pump_dispatch t
+
+let set_workers t new_workers =
+  t.worker_set <- validate_workers t.topo new_workers;
+  (* New capacity may unblock a demand-driven backlog immediately. *)
+  pump_dispatch t
+
+let create ?(window = 2) ~rng ~topo ~task ~workers ~dispatch ~input ~trace () =
+  if window < 1 then invalid_arg "Farm_sim: window must be at least 1";
+  let worker_set = validate_workers topo workers in
+  let t =
+    {
+      engine = Topology.engine topo;
+      topo;
+      trace;
+      rng;
+      task;
+      work_seed = Int64.to_int (Rng.bits64 rng) land max_int;
+      dispatch;
+      window;
+      input;
+      backlog = Queue.create ();
+      worker_set;
+      outstanding = Array.make (Topology.size topo) 0;
+      rr_cursor = 0;
+      delivered = Hashtbl.create 64;
+      next_to_emit = 0;
+      emitted = 0;
+    }
+  in
+  let arrivals = Stream_spec.arrival_times input rng in
+  Array.iteri
+    (fun item time ->
+      ignore (Engine.schedule_at t.engine ~time (fun () -> assign t ~item)))
+    arrivals;
+  t
+
+let items_total t = t.input.Stream_spec.items
+let items_completed t = t.emitted
+let finished t = t.emitted = items_total t
+
+let run_to_completion ?(max_time = 1e7) t =
+  let rec loop () =
+    if finished t then ()
+    else if Engine.now t.engine > max_time then
+      failwith "Farm_sim.run_to_completion: exceeded max_time before draining"
+    else if Engine.step t.engine then loop ()
+    else if not (finished t) then
+      failwith "Farm_sim.run_to_completion: event queue drained with items in flight"
+  in
+  loop ()
+
+let execute ?(rng = Rng.create 42) ?window ~topo ~task ~workers ~dispatch ~input () =
+  let trace = Trace.create () in
+  let t = create ?window ~rng ~topo ~task ~workers ~dispatch ~input ~trace () in
+  run_to_completion t;
+  trace

@@ -1,0 +1,70 @@
+(** The task-farm skeleton on the simulated grid — the stage-replication
+    counterpart of {!Skel_sim}.
+
+    One task (a {!Stage.t}) is replicated over a set of worker nodes. Items
+    arrive at the user site, are assigned to a worker by the dispatch policy,
+    cross the user link, queue at the worker's node server, and their results
+    cross back. The farm is an {e ordered} farm: results are emitted in input
+    order (a reorder buffer holds early finishers).
+
+    The worker set can change mid-run ({!set_workers}) — the adaptive farm
+    engine uses this to evict workers whose availability collapsed and to
+    re-admit them later. Removing a worker never loses items: its in-flight
+    and queued items finish where they are; only new assignments stop. *)
+
+type dispatch =
+  | Round_robin  (** equal shares in arrival order — eSkel's default deal *)
+  | Least_loaded  (** assign to the worker with the fewest outstanding items *)
+
+val pp_dispatch : Format.formatter -> dispatch -> unit
+
+type t
+
+val create :
+  ?window:int ->
+  rng:Aspipe_util.Rng.t ->
+  topo:Aspipe_grid.Topology.t ->
+  task:Stage.t ->
+  workers:int list ->
+  dispatch:dispatch ->
+  input:Stream_spec.t ->
+  trace:Aspipe_grid.Trace.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on an empty or out-of-range worker list or a
+    [window < 1]. [window] (default 2) caps each worker's outstanding items
+    under [Least_loaded] dispatch — the demand-driven deal; [Round_robin]
+    deals eagerly and ignores it. Arrivals are scheduled immediately;
+    nothing runs until the engine does. Each item's service is recorded in
+    the trace as stage 0 on its worker's node; completions are recorded at
+    ordered emission time. *)
+
+val workers : t -> int list
+(** Current worker set, ascending. *)
+
+val set_workers : t -> int list -> unit
+(** Replace the worker set; takes effect for future assignments. *)
+
+val outstanding : t -> int -> int
+(** Items assigned to worker [node] and not yet delivered back. *)
+
+val items_total : t -> int
+val items_completed : t -> int
+(** Items {e emitted} (in order). *)
+
+val finished : t -> bool
+
+val run_to_completion : ?max_time:float -> t -> unit
+(** As {!Skel_sim.run_to_completion}. *)
+
+val execute :
+  ?rng:Aspipe_util.Rng.t ->
+  ?window:int ->
+  topo:Aspipe_grid.Topology.t ->
+  task:Stage.t ->
+  workers:int list ->
+  dispatch:dispatch ->
+  input:Stream_spec.t ->
+  unit ->
+  Aspipe_grid.Trace.t
+(** One-shot static run. *)

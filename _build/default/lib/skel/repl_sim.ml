@@ -1,0 +1,204 @@
+module Engine = Aspipe_des.Engine
+module Server = Aspipe_des.Server
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Link = Aspipe_grid.Link
+module Trace = Aspipe_grid.Trace
+
+(* src_node = -1 encodes the user site. *)
+let user_site = -1
+
+type stage_rt = {
+  spec : Stage.t;
+  index : int;
+  mutable replica_set : int list;  (* ascending *)
+  outstanding : int array;  (* per topology node *)
+  arrived : (int * int) Queue.t;  (* (item, src node), in item order *)
+  reorder : (int, int) Hashtbl.t;  (* finished item -> computing node *)
+  mutable next_emit : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  trace : Trace.t;
+  window : int;
+  stages : stage_rt array;
+  work_table : (int * int, float) Hashtbl.t;
+  work_seed : int;
+  input : Stream_spec.t;
+  (* Ordered completion at the sink. *)
+  sink_delivered : (int, float) Hashtbl.t;
+  mutable sink_next : int;
+  mutable completed : int;
+}
+
+let validate topo stages replicas =
+  if Array.length stages = 0 then invalid_arg "Repl_sim: empty pipeline";
+  if Array.length replicas <> Array.length stages then
+    invalid_arg "Repl_sim: one replica set per stage required";
+  Array.map
+    (fun nodes ->
+      if nodes = [] then invalid_arg "Repl_sim: empty replica set";
+      List.iter
+        (fun n ->
+          if n < 0 || n >= Topology.size topo then invalid_arg "Repl_sim: unknown replica node")
+        nodes;
+      List.sort_uniq compare nodes)
+    replicas
+
+let work_for t ~item ~stage =
+  match Hashtbl.find_opt t.work_table (item, stage) with
+  | Some w -> w
+  | None ->
+      let keyed = Rng.create (t.work_seed lxor (item * 0x9E3779) lxor (stage * 0x85EB51)) in
+      let w = Float.max 0.0 (Variate.sample keyed t.stages.(stage).spec.Stage.work) in
+      Hashtbl.add t.work_table (item, stage) w;
+      w
+
+let transfer_from t ~src ~dst ~bytes k =
+  if src = user_site then Link.transfer (Topology.user_link t.topo dst) ~bytes k
+  else Link.transfer (Topology.link t.topo ~src ~dst) ~bytes k
+
+(* Ordered completion record at the sink. *)
+let rec sink_emit t =
+  match Hashtbl.find_opt t.sink_delivered t.sink_next with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.remove t.sink_delivered t.sink_next;
+      Trace.record_completion t.trace ~item:t.sink_next ~time:(Engine.now t.engine);
+      t.completed <- t.completed + 1;
+      t.sink_next <- t.sink_next + 1;
+      sink_emit t
+
+let rec pump t si =
+  let s = t.stages.(si) in
+  if not (Queue.is_empty s.arrived) then begin
+    (* Demand-driven least-loaded deal over the current replica set. *)
+    let best =
+      List.fold_left
+        (fun best r -> if s.outstanding.(r) < s.outstanding.(best) then r else best)
+        (List.hd s.replica_set) (List.tl s.replica_set)
+    in
+    if s.outstanding.(best) < t.window then begin
+      let item, src = Queue.pop s.arrived in
+      let replica = best in
+      s.outstanding.(replica) <- s.outstanding.(replica) + 1;
+      let bytes =
+        if si = 0 then t.input.Stream_spec.item_bytes
+        else t.stages.(si - 1).spec.Stage.output_bytes
+      in
+      transfer_from t ~src ~dst:replica ~bytes (fun () ->
+          let node = Topology.node t.topo replica in
+          let start = ref (Engine.now t.engine) in
+          Server.submit (Node.server node) ~work:(work_for t ~item ~stage:si) ~tag:item
+            ~on_start:(fun () -> start := Engine.now t.engine)
+            (fun () ->
+              Trace.record_service t.trace
+                {
+                  Trace.item;
+                  stage = si;
+                  node = replica;
+                  start = !start;
+                  finish = Engine.now t.engine;
+                };
+              s.outstanding.(replica) <- s.outstanding.(replica) - 1;
+              Hashtbl.replace s.reorder item replica;
+              emit t si;
+              pump t si));
+      pump t si
+    end
+  end
+
+(* Re-sequence: forward every contiguous finished item downstream (or to the
+   sink), preserving the input order for the next stage. *)
+and emit t si =
+  let s = t.stages.(si) in
+  match Hashtbl.find_opt s.reorder s.next_emit with
+  | None -> ()
+  | Some node ->
+      Hashtbl.remove s.reorder s.next_emit;
+      let item = s.next_emit in
+      s.next_emit <- s.next_emit + 1;
+      let ns = Array.length t.stages in
+      if si = ns - 1 then
+        Link.transfer (Topology.user_link t.topo node) ~bytes:s.spec.Stage.output_bytes
+          (fun () ->
+            Hashtbl.replace t.sink_delivered item (Engine.now t.engine);
+            sink_emit t)
+      else begin
+        Queue.push (item, node) t.stages.(si + 1).arrived;
+        pump t (si + 1)
+      end;
+      emit t si
+
+let create ?(window = 2) ~rng ~topo ~stages ~replicas ~input ~trace () =
+  if window < 1 then invalid_arg "Repl_sim: window must be at least 1";
+  let replica_sets = validate topo stages replicas in
+  let t =
+    {
+      engine = Topology.engine topo;
+      topo;
+      trace;
+      window;
+      stages =
+        Array.mapi
+          (fun index spec ->
+            {
+              spec;
+              index;
+              replica_set = replica_sets.(index);
+              outstanding = Array.make (Topology.size topo) 0;
+              arrived = Queue.create ();
+              reorder = Hashtbl.create 32;
+              next_emit = 0;
+            })
+          stages;
+      work_table = Hashtbl.create 1024;
+      work_seed = Int64.to_int (Rng.bits64 rng) land max_int;
+      input;
+      sink_delivered = Hashtbl.create 32;
+      sink_next = 0;
+      completed = 0;
+    }
+  in
+  let arrivals = Stream_spec.arrival_times input rng in
+  Array.iteri
+    (fun item time ->
+      ignore
+        (Engine.schedule_at t.engine ~time (fun () ->
+             Queue.push (item, user_site) t.stages.(0).arrived;
+             pump t 0)))
+    arrivals;
+  t
+
+let replicas t = Array.map (fun s -> s.replica_set) t.stages
+
+let set_replicas t new_replicas =
+  let sets = validate t.topo (Array.map (fun s -> s.spec) t.stages) new_replicas in
+  Array.iteri (fun i s -> s.replica_set <- sets.(i)) t.stages;
+  (* Fresh capacity may unblock backlogs immediately. *)
+  Array.iteri (fun i _ -> pump t i) t.stages
+
+let items_total t = t.input.Stream_spec.items
+let items_completed t = t.completed
+let finished t = t.completed = items_total t
+
+let run_to_completion ?(max_time = 1e7) t =
+  let rec loop () =
+    if finished t then ()
+    else if Engine.now t.engine > max_time then
+      failwith "Repl_sim.run_to_completion: exceeded max_time before draining"
+    else if Engine.step t.engine then loop ()
+    else if not (finished t) then
+      failwith "Repl_sim.run_to_completion: event queue drained with items in flight"
+  in
+  loop ()
+
+let execute ?(rng = Rng.create 42) ?window ~topo ~stages ~replicas ~input () =
+  let trace = Trace.create () in
+  let t = create ?window ~rng ~topo ~stages ~replicas ~input ~trace () in
+  run_to_completion t;
+  trace

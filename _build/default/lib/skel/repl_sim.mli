@@ -1,0 +1,55 @@
+(** Pipelines with replicated stages — a farm nested inside the pipeline.
+
+    Each stage runs on a {e set} of replica nodes instead of exactly one:
+    items reaching the stage are dealt to a replica (demand-driven,
+    least-loaded), serviced there, and re-sequenced by a per-stage reorder
+    buffer before moving downstream, so the next stage still observes the
+    input order ([Pipeline1for1] is preserved end to end). Replication is
+    how a hot stage stops being the bottleneck without rewriting the
+    application.
+
+    Replicated stages use buffered (asynchronous) sends — the reorder buffer
+    decouples the sender anyway — unlike the synchronous moves of the
+    single-node {!Skel_sim}; single-replica stages therefore behave like a
+    slightly more buffered {!Skel_sim} stage. *)
+
+type t
+
+val create :
+  ?window:int ->
+  rng:Aspipe_util.Rng.t ->
+  topo:Aspipe_grid.Topology.t ->
+  stages:Stage.t array ->
+  replicas:int list array ->
+  input:Stream_spec.t ->
+  trace:Aspipe_grid.Trace.t ->
+  unit ->
+  t
+(** [replicas.(i)] is stage [i]'s replica node set (non-empty, in range,
+    duplicates removed). [window] (default 2) caps each replica's
+    outstanding items. Raises [Invalid_argument] on bad inputs. *)
+
+val replicas : t -> int list array
+(** Current replica sets, ascending. *)
+
+val set_replicas : t -> int list array -> unit
+(** Replace every stage's replica set; takes effect for future deals (items
+    already dealt to a removed replica finish there). Raises
+    [Invalid_argument] on bad sets. *)
+
+val items_total : t -> int
+val items_completed : t -> int
+val finished : t -> bool
+
+val run_to_completion : ?max_time:float -> t -> unit
+
+val execute :
+  ?rng:Aspipe_util.Rng.t ->
+  ?window:int ->
+  topo:Aspipe_grid.Topology.t ->
+  stages:Stage.t array ->
+  replicas:int list array ->
+  input:Stream_spec.t ->
+  unit ->
+  Aspipe_grid.Trace.t
+(** One-shot run; the trace records each service on its replica's node. *)

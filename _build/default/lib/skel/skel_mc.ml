@@ -1,0 +1,57 @@
+let run_seq pipe inputs = List.map (Pipe.apply pipe) inputs
+
+(* Pump every element of [cin] through [f] into [cout], then propagate the
+   close downstream so the chain shuts down stage by stage. *)
+let pump f cin cout =
+  let rec loop () =
+    match Chan.recv cin with
+    | None -> Chan.close cout
+    | Some x ->
+        Chan.send cout (f x);
+        loop ()
+  in
+  loop ()
+
+type packed_domain = Packed : 'a Domain.t -> packed_domain
+
+let run ?(capacity = 8) pipe inputs =
+  let cin = Chan.create ~capacity in
+  let rec build : type a b. (a, b) Pipe.t -> a Chan.t -> packed_domain list -> packed_domain list * b Chan.t =
+   fun p cin domains ->
+    match p with
+    | Pipe.Last f ->
+        let cout = Chan.create ~capacity in
+        let d = Domain.spawn (fun () -> pump f cin cout) in
+        (Packed d :: domains, cout)
+    | Pipe.Stage (f, rest) ->
+        let cmid = Chan.create ~capacity in
+        let d = Domain.spawn (fun () -> pump f cin cmid) in
+        build rest cmid (Packed d :: domains)
+  in
+  let domains, cout = build pipe cin [] in
+  let feeder =
+    Domain.spawn (fun () ->
+        List.iter (Chan.send cin) inputs;
+        Chan.close cin)
+  in
+  let rec drain acc =
+    match Chan.recv cout with None -> List.rev acc | Some y -> drain (y :: acc)
+  in
+  let outputs = drain [] in
+  Domain.join feeder;
+  List.iter (fun (Packed d) -> ignore (Domain.join d)) domains;
+  outputs
+
+let run_grouped ?capacity ~groups pipe inputs = run ?capacity (Pipe.fuse_groups groups pipe) inputs
+
+let now_seconds () = Unix.gettimeofday ()
+
+let run_timed ?capacity pipe inputs =
+  let t0 = now_seconds () in
+  let outputs = run ?capacity pipe inputs in
+  (outputs, now_seconds () -. t0)
+
+let run_seq_timed pipe inputs =
+  let t0 = now_seconds () in
+  let outputs = run_seq pipe inputs in
+  (outputs, now_seconds () -. t0)

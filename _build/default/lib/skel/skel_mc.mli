@@ -1,0 +1,23 @@
+(** The shared-memory execution backend: one OCaml 5 domain per (possibly
+    fused) pipeline stage, connected by bounded channels.
+
+    This is the backend used by the real-speedup experiments: the same
+    {!Pipe.t} program runs sequentially ({!run_seq}), with one domain per
+    stage ({!run}), or with stages fused into processor groups
+    ({!run_grouped}) — the shared-memory analogue of the grid mapping. *)
+
+val run_seq : ('a, 'b) Pipe.t -> 'a list -> 'b list
+(** Reference semantics, zero parallelism. *)
+
+val run : ?capacity:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list
+(** One domain per stage, plus a feeder. Output order equals input order.
+    [capacity] bounds each inter-stage channel (default 8). *)
+
+val run_grouped : ?capacity:int -> groups:int array -> ('a, 'b) Pipe.t -> 'a list -> 'b list
+(** Fuses stages per {!Pipe.fuse_groups} first, then runs one domain per
+    group. *)
+
+val run_timed : ?capacity:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list * float
+(** {!run} plus wall-clock seconds (monotonic clock). *)
+
+val run_seq_timed : ('a, 'b) Pipe.t -> 'a list -> 'b list * float

@@ -1,0 +1,229 @@
+module Engine = Aspipe_des.Engine
+module Server = Aspipe_des.Server
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Topology = Aspipe_grid.Topology
+module Node = Aspipe_grid.Node
+module Link = Aspipe_grid.Link
+module Trace = Aspipe_grid.Trace
+
+type stage_state = {
+  spec : Stage.t;
+  index : int;
+  mutable node : int;
+  pending : int Queue.t;  (* item ids awaiting this stage, FIFO *)
+  waiting_deliveries : (unit -> unit) Queue.t;
+      (* deliveries parked because [pending] hit the buffer capacity *)
+  mutable busy : bool;  (* an item of this stage is submitted to a server *)
+  mutable migrating_to : int option;  (* destination of an in-flight migration *)
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  stages : stage_state array;
+  work_table : (int * int, float) Hashtbl.t;
+  work_seed : int;
+  input : Stream_spec.t;
+  queue_capacity : int option;  (* per-stage buffer bound; None = unbounded *)
+  mutable completed : int;
+}
+
+let check_mapping topo stages mapping =
+  if Array.length mapping <> Array.length stages then
+    invalid_arg "Skel_sim: mapping length must equal stage count";
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= Topology.size topo then
+        invalid_arg "Skel_sim: mapping names an unknown node")
+    mapping
+
+(* Work is drawn from a generator keyed on (item, stage) — not on dispatch
+   order — so every item costs the same under any mapping, buffer capacity or
+   adaptation schedule. Comparisons across strategies are therefore paired on
+   an identical workload realization, and migrating a stage never re-rolls
+   the work its queued items will cost. *)
+let work_for t ~item ~stage =
+  match Hashtbl.find_opt t.work_table (item, stage) with
+  | Some w -> w
+  | None ->
+      let keyed = Rng.create (t.work_seed lxor (item * 0x9E3779) lxor (stage * 0x85EB51)) in
+      let w = Float.max 0.0 (Variate.sample keyed t.stages.(stage).spec.Stage.work) in
+      Hashtbl.add t.work_table (item, stage) w;
+      w
+
+let rec try_dispatch t si =
+  let s = t.stages.(si) in
+  if (not s.busy) && s.migrating_to = None && not (Queue.is_empty s.pending) then begin
+    let item = Queue.pop s.pending in
+    s.busy <- true;
+    (* A buffer slot opened: land one parked delivery. This must happen
+       after [busy] is set, or the landed delivery's own dispatch attempt
+       would start a second concurrent service on this stage. *)
+    if not (Queue.is_empty s.waiting_deliveries) then (Queue.pop s.waiting_deliveries) ();
+    let node_idx = s.node in
+    let node = Topology.node t.topo node_idx in
+    let start = ref (Engine.now t.engine) in
+    let work = work_for t ~item ~stage:si in
+    Server.submit (Node.server node) ~work ~tag:item
+      ~on_start:(fun () -> start := Engine.now t.engine)
+      (fun () ->
+        Trace.record_service t.trace
+          { Trace.item; stage = si; node = node_idx; start = !start; finish = Engine.now t.engine };
+        (* The output move is part of the stage's cycle — the stage stays
+           busy until its output is delivered downstream (synchronous send,
+           as in the skeleton's (move).(process).(move) behaviour), so slow
+           links throttle the stage that feeds them. *)
+        forward t ~item ~from_stage:si ~from_node:node_idx ~on_delivered:(fun () ->
+            s.busy <- false;
+            try_dispatch t si))
+  end
+
+and forward t ~item ~from_stage ~from_node ~on_delivered =
+  let ns = Array.length t.stages in
+  let bytes = t.stages.(from_stage).spec.Stage.output_bytes in
+  if from_stage = ns - 1 then
+    (* Output crosses the user link from wherever the last stage ran. *)
+    let link = Topology.user_link t.topo from_node in
+    Link.transfer link ~bytes (fun () ->
+        t.completed <- t.completed + 1;
+        Trace.record_completion t.trace ~item ~time:(Engine.now t.engine);
+        on_delivered ())
+  else begin
+    let dst_stage = t.stages.(from_stage + 1) in
+    let dst_node = dst_stage.node in
+    let link = Topology.link t.topo ~src:from_node ~dst:dst_node in
+    let start = Engine.now t.engine in
+    Link.transfer link ~bytes (fun () ->
+        Trace.record_transfer t.trace
+          {
+            Trace.item;
+            from_stage;
+            src = from_node;
+            dst = dst_node;
+            start;
+            finish = Engine.now t.engine;
+          };
+        land_delivery t dst_stage (fun () ->
+            Queue.push item dst_stage.pending;
+            on_delivered ();
+            try_dispatch t (from_stage + 1)))
+  end
+
+(* Apply the buffer bound: a delivery to a full stage parks (holding its
+   upstream sender busy — that is the back pressure) until a slot opens. *)
+and land_delivery t dst deliver =
+  match t.queue_capacity with
+  | Some capacity when Queue.length dst.pending >= capacity ->
+      Queue.push deliver dst.waiting_deliveries
+  | Some _ | None -> deliver ()
+
+let inject t ~item =
+  let first = t.stages.(0) in
+  let link = Topology.user_link t.topo first.node in
+  Link.transfer link ~bytes:t.input.Stream_spec.item_bytes (fun () ->
+      land_delivery t first (fun () ->
+          Queue.push item first.pending;
+          try_dispatch t 0))
+
+let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
+  check_mapping topo stages mapping;
+  if Array.length stages = 0 then invalid_arg "Skel_sim: empty pipeline";
+  (match queue_capacity with
+  | Some c when c < 1 -> invalid_arg "Skel_sim: queue capacity must be at least 1"
+  | Some _ | None -> ());
+  let engine = Topology.engine topo in
+  let t =
+    {
+      engine;
+      topo;
+      trace;
+      rng;
+      stages =
+        Array.mapi
+          (fun index spec ->
+            {
+              spec;
+              index;
+              node = mapping.(index);
+              pending = Queue.create ();
+              waiting_deliveries = Queue.create ();
+              busy = false;
+              migrating_to = None;
+            })
+          stages;
+      work_table = Hashtbl.create 1024;
+      work_seed = Int64.to_int (Rng.bits64 rng) land max_int;
+      input;
+      queue_capacity;
+      completed = 0;
+    }
+  in
+  let arrivals = Stream_spec.arrival_times input rng in
+  Array.iteri
+    (fun item time -> ignore (Engine.schedule_at engine ~time (fun () -> inject t ~item)))
+    arrivals;
+  t
+
+let mapping t = Array.map (fun s -> s.node) t.stages
+
+(* Payload bytes a queued item of stage [si] carries during a migration: the
+   upstream stage's output (or the user input for the first stage). *)
+let queued_item_bytes t si =
+  if si = 0 then t.input.Stream_spec.item_bytes
+  else t.stages.(si - 1).spec.Stage.output_bytes
+
+let remap t new_mapping =
+  check_mapping t.topo (Array.map (fun s -> s.spec) t.stages) new_mapping;
+  Array.iter
+    (fun s ->
+      match s.migrating_to with
+      | Some dest when new_mapping.(s.index) <> dest ->
+          invalid_arg "Skel_sim.remap: stage already migrating"
+      | Some _ | None -> ())
+    t.stages;
+  let total = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let dst = new_mapping.(s.index) in
+      if dst <> s.node && s.migrating_to = None then begin
+        let src = s.node in
+        let bytes =
+          s.spec.Stage.state_bytes
+          +. (Float.of_int (Queue.length s.pending) *. queued_item_bytes t s.index)
+        in
+        total := !total +. bytes;
+        s.migrating_to <- Some dst;
+        let link = Topology.link t.topo ~src ~dst in
+        Link.transfer link ~bytes (fun () ->
+            s.node <- dst;
+            s.migrating_to <- None;
+            try_dispatch t s.index)
+      end)
+    t.stages;
+  !total
+
+let migrating t = Array.exists (fun s -> s.migrating_to <> None) t.stages
+
+let items_total t = t.input.Stream_spec.items
+let items_completed t = t.completed
+let finished t = t.completed = items_total t
+
+let run_to_completion ?(max_time = 1e7) t =
+  let rec loop () =
+    if finished t then ()
+    else if Engine.now t.engine > max_time then
+      failwith "Skel_sim.run_to_completion: exceeded max_time before draining"
+    else if Engine.step t.engine then loop ()
+    else if not (finished t) then
+      failwith "Skel_sim.run_to_completion: event queue drained with items in flight"
+  in
+  loop ()
+
+let execute ?(rng = Rng.create 42) ?queue_capacity ~topo ~stages ~mapping ~input () =
+  let trace = Trace.create () in
+  let t = create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () in
+  run_to_completion t;
+  trace

@@ -1,0 +1,71 @@
+(** The simulation backend of the pipeline skeleton.
+
+    Runs an [Ns]-stage [Pipeline1for1] over a {!Aspipe_grid.Topology.t} under
+    a stage→node mapping, producing a {!Aspipe_grid.Trace.t}. Semantics:
+
+    - items enter at the user site and cross the user link to the first
+      stage's node; outputs cross the user link back;
+    - each stage serves one item at a time, in order; colocated stages share
+      their node's FCFS server;
+    - a stage's cycle is [(move in).(process).(move out)]: the output move is
+      synchronous, so the stage cannot start its next item until the
+      downstream transfer is delivered — slow links throttle the stages that
+      feed them, as in the skeleton's performance model;
+    - {!remap} migrates stages to new nodes mid-run: each moving stage blocks,
+      its state (plus queued item payloads) crosses the old→new link, then it
+      resumes at the new node. An in-flight service finishes on the old node.
+
+    The executor never looks at ground-truth availability — only the
+    simulated clock — so adaptive policies on top of it are honestly
+    evaluated against imperfect information. *)
+
+type t
+
+val create :
+  ?queue_capacity:int ->
+  rng:Aspipe_util.Rng.t ->
+  topo:Aspipe_grid.Topology.t ->
+  stages:Stage.t array ->
+  mapping:int array ->
+  input:Stream_spec.t ->
+  trace:Aspipe_grid.Trace.t ->
+  unit ->
+  t
+(** Schedules all arrivals; nothing runs until the engine does.
+    [queue_capacity] bounds every stage's input buffer (default unbounded):
+    a delivery to a full stage parks, holding the upstream sender busy —
+    with capacity 1 the pipeline approaches the bufferless synchronization
+    of the CTMC model. Raises [Invalid_argument] if the mapping length
+    differs from the stage count, names an unknown node, or the capacity
+    is below 1. *)
+
+val mapping : t -> int array
+(** Current stage→node assignment (updated by completed migrations). *)
+
+val remap : t -> int array -> float
+(** [remap t m] starts migrating every stage whose assignment changes and
+    returns the total bytes in flight. Items already being serviced finish
+    where they are. Re-entrant migrations to a stage already moving are
+    rejected with [Invalid_argument]. *)
+
+val migrating : t -> bool
+
+val items_total : t -> int
+val items_completed : t -> int
+val finished : t -> bool
+
+val run_to_completion : ?max_time:float -> t -> unit
+(** Steps the engine until every item has left the pipeline (or [max_time]
+    virtual seconds elapse — default [1e7] — which raises [Failure], since a
+    finite workload that fails to drain indicates a modelling bug). *)
+
+val execute :
+  ?rng:Aspipe_util.Rng.t ->
+  ?queue_capacity:int ->
+  topo:Aspipe_grid.Topology.t ->
+  stages:Stage.t array ->
+  mapping:int array ->
+  input:Stream_spec.t ->
+  unit ->
+  Aspipe_grid.Trace.t
+(** One-shot static run: create, drain, return the trace. *)

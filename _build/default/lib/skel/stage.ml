@@ -1,0 +1,45 @@
+module Variate = Aspipe_util.Variate
+
+type t = {
+  name : string;
+  work : Variate.spec;
+  output_bytes : float;
+  state_bytes : float;
+}
+
+let counter = ref 0
+
+let make ?name ?(output_bytes = 1e5) ?(state_bytes = 1e6) ~work () =
+  if output_bytes < 0.0 || state_bytes < 0.0 then
+    invalid_arg "Stage.make: sizes must be non-negative";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        incr counter;
+        Printf.sprintf "stage%d" !counter
+  in
+  { name; work; output_bytes; state_bytes }
+
+let mean_work t = Variate.mean_of_spec t.work
+
+let balanced ?output_bytes ?state_bytes ~n ~work () =
+  if n <= 0 then invalid_arg "Stage.balanced: n must be positive";
+  Array.init n (fun i ->
+      make ?output_bytes ?state_bytes
+        ~name:(Printf.sprintf "s%d" i)
+        ~work:(Variate.Constant work) ())
+
+let imbalanced ?output_bytes ?state_bytes ~n ~work ~hot_stage ~factor () =
+  if hot_stage < 0 || hot_stage >= n then invalid_arg "Stage.imbalanced: hot stage out of range";
+  let stages = balanced ?output_bytes ?state_bytes ~n ~work () in
+  stages.(hot_stage) <-
+    make ?output_bytes ?state_bytes
+      ~name:(Printf.sprintf "s%d_hot" hot_stage)
+      ~work:(Variate.Constant (work *. factor))
+      ();
+  stages
+
+let pp ppf t =
+  Format.fprintf ppf "%s{work=%a, out=%gB, state=%gB}" t.name Variate.pp_spec t.work
+    t.output_bytes t.state_bytes

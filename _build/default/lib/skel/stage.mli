@@ -1,0 +1,42 @@
+(** Stage descriptors for the simulated pipeline skeleton.
+
+    A stage is characterized by the work it spends per item (a distribution,
+    so heterogeneous and noisy stages are expressible), the bytes it emits
+    downstream per item, and the bytes of internal state a migration must
+    carry. The eSkel [Pipeline1for1] discipline applies: one output per
+    input, inputs processed in order, one at a time. *)
+
+type t = {
+  name : string;
+  work : Aspipe_util.Variate.spec;  (** work units per item *)
+  output_bytes : float;  (** per-item payload sent to the next stage *)
+  state_bytes : float;  (** state transferred when the stage migrates *)
+}
+
+val make :
+  ?name:string ->
+  ?output_bytes:float ->
+  ?state_bytes:float ->
+  work:Aspipe_util.Variate.spec ->
+  unit ->
+  t
+(** Defaults: [output_bytes = 1e5], [state_bytes = 1e6], generated name. *)
+
+val mean_work : t -> float
+
+val balanced :
+  ?output_bytes:float -> ?state_bytes:float -> n:int -> work:float -> unit -> t array
+(** [n] stages of constant [work] each. *)
+
+val imbalanced :
+  ?output_bytes:float ->
+  ?state_bytes:float ->
+  n:int ->
+  work:float ->
+  hot_stage:int ->
+  factor:float ->
+  unit ->
+  t array
+(** Like {!balanced} but stage [hot_stage] costs [factor × work]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Input-stream specifications: how many items enter the pipeline, when,
+    and how large each item's payload is on the user link. *)
+
+type arrival =
+  | Immediate  (** the whole input set is available at t = 0 *)
+  | Spaced of float  (** one item every [interval] seconds *)
+  | Poisson of float  (** exponential inter-arrivals with the given rate *)
+
+type t = { items : int; arrival : arrival; item_bytes : float }
+
+val make : ?arrival:arrival -> ?item_bytes:float -> items:int -> unit -> t
+(** Defaults: [Immediate] arrivals, [1e5] bytes per item. *)
+
+val arrival_times : t -> Aspipe_util.Rng.t -> float array
+(** Materialize the arrival instants, length [items], non-decreasing. *)
+
+val pp : Format.formatter -> t -> unit

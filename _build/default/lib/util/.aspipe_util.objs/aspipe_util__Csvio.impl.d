@@ -1,0 +1,1 @@
+lib/util/csvio.ml: Array Buffer Filename Fun List Printf Render String Sys

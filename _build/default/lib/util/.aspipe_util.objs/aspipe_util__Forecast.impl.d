@@ -1,0 +1,1 @@
+lib/util/forecast.ml: Array Float List Printf Stats

@@ -1,0 +1,1 @@
+lib/util/variate.ml: Array Float Format Rng

@@ -1,0 +1,1 @@
+lib/util/variate.mli: Format Rng

@@ -1,0 +1,62 @@
+(** Resource-performance forecasting, in the style of the Network Weather
+    Service (Wolski et al., FGCS 1999), which the original grid deployment
+    relied on for availability and latency predictions.
+
+    A forecaster consumes a stream of measurements and predicts the next one.
+    The {!adaptive} forecaster runs a whole bank of primitive forecasters and
+    answers with the one whose past mean-squared error is currently lowest —
+    the NWS "dynamic predictor selection" idea. *)
+
+type t
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** [observe t x] feeds the next measurement. Before the first observation,
+    [predict] returns [fallback] (default [0.]). *)
+
+val predict : t -> float
+(** [predict t] is the forecast of the next measurement. *)
+
+val mse : t -> float
+(** [mse t] is the running mean squared one-step-ahead error of this
+    forecaster over all observations so far ([nan] before the second). *)
+
+val mae : t -> float
+(** Running mean absolute one-step error ([nan] before the second). *)
+
+val last_value : ?fallback:float -> unit -> t
+(** Predicts the previous measurement. *)
+
+val running_mean : ?fallback:float -> unit -> t
+(** Predicts the mean of everything seen. *)
+
+val sliding_mean : ?fallback:float -> window:int -> unit -> t
+(** Predicts the mean of the last [window] measurements. *)
+
+val sliding_median : ?fallback:float -> window:int -> unit -> t
+(** Predicts the median of the last [window] measurements — robust to the
+    spiky signals grids produce. *)
+
+val ewma : ?fallback:float -> gain:float -> unit -> t
+(** Exponentially weighted moving average with smoothing [gain] in (0,1];
+    prediction p ← gain·x + (1−gain)·p. *)
+
+val trend : ?fallback:float -> gain:float -> unit -> t
+(** Holt's double exponential smoothing: tracks a level and a slope, so
+    steadily draining (or recovering) resources are extrapolated instead of
+    lagged. Trend gain is [gain/2]. *)
+
+val ar1 : ?fallback:float -> unit -> t
+(** Online first-order autoregression: fits x_t ≈ a·x_{t−1} + c by running
+    least squares and predicts from the last observation. Falls back to the
+    last value until the fit is identifiable. *)
+
+val adaptive : ?fallback:float -> unit -> t
+(** The NWS ensemble: last value, running mean, sliding mean/median over
+    windows {5, 10, 25}, EWMA with gains {0.1, 0.25, 0.5, 0.75}, Holt trend
+    and AR(1); predicts with the member of least running MSE. *)
+
+val members : t -> (string * float) list
+(** [members t] is the bank's per-member MSE (singleton for primitive
+    forecasters) — used by the forecaster-accuracy experiment. *)

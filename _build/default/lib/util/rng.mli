@@ -1,0 +1,42 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    The generator is xoshiro256++ seeded through splitmix64, which gives
+    high-quality 64-bit streams with a tiny state. Every stochastic component
+    of the simulator takes an explicit [Rng.t] so whole experiments are
+    reproducible from a single integer seed, and [split] derives statistically
+    independent child streams for concurrent components. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. Equal seeds give
+    equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a child generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)], with 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if [n <= 0]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val range : t -> float -> float -> float
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher–Yates). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of [a].
+    Raises [Invalid_argument] on an empty array. *)

@@ -1,0 +1,1 @@
+lib/workload/image.ml: Array Aspipe_skel Aspipe_util Float

@@ -1,0 +1,1 @@
+lib/workload/image.mli: Aspipe_skel Aspipe_util

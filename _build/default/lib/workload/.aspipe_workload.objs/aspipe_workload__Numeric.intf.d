@@ -1,0 +1,1 @@
+lib/workload/numeric.mli: Aspipe_skel Aspipe_util

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Aspipe_skel Aspipe_util Float List Printf

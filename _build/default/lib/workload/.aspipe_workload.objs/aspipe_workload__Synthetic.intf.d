@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Aspipe_skel Aspipe_util

@@ -1,0 +1,1 @@
+lib/workload/textproc.ml: Array Aspipe_skel Aspipe_util Buffer Char Float Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/workload/textproc.mli: Aspipe_skel Aspipe_util

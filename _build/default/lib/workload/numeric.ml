@@ -1,0 +1,76 @@
+module Rng = Aspipe_util.Rng
+
+type t = { n : int; data : float array }
+
+let create n ~f =
+  if n <= 0 then invalid_arg "Numeric.create: size must be positive";
+  let data = Array.make (n * n) 0.0 in
+  for row = 0 to n - 1 do
+    for col = 0 to n - 1 do
+      data.((row * n) + col) <- f ~row ~col
+    done
+  done;
+  { n; data }
+
+let identity n = create n ~f:(fun ~row ~col -> if row = col then 1.0 else 0.0)
+let random rng n = create n ~f:(fun ~row:_ ~col:_ -> Rng.range rng (-1.0) 1.0)
+
+let get t ~row ~col =
+  if row < 0 || row >= t.n || col < 0 || col >= t.n then invalid_arg "Numeric.get";
+  t.data.((row * t.n) + col)
+
+let multiply a b =
+  if a.n <> b.n then invalid_arg "Numeric.multiply: dimension mismatch";
+  let n = a.n in
+  let out = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let aik = a.data.((i * n) + k) in
+      if aik <> 0.0 then begin
+        let brow = k * n in
+        let orow = i * n in
+        for j = 0 to n - 1 do
+          out.(orow + j) <- out.(orow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  { n; data = out }
+
+let add a b =
+  if a.n <> b.n then invalid_arg "Numeric.add: dimension mismatch";
+  { n = a.n; data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let scale k t = { t with data = Array.map (fun x -> k *. x) t.data }
+
+let transpose t = create t.n ~f:(fun ~row ~col -> get t ~row:col ~col:row)
+
+let jacobi_sweep t =
+  create t.n ~f:(fun ~row ~col ->
+      if row = 0 || col = 0 || row = t.n - 1 || col = t.n - 1 then get t ~row ~col
+      else
+        (get t ~row:(row - 1) ~col
+        +. get t ~row:(row + 1) ~col
+        +. get t ~row ~col:(col - 1)
+        +. get t ~row ~col:(col + 1))
+        /. 4.0)
+
+let frobenius t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+let max_abs_diff a b =
+  if a.n <> b.n then invalid_arg "Numeric.max_abs_diff: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i x -> worst := Float.max !worst (Float.abs (x -. b.data.(i)))) a.data;
+  !worst
+
+let refinement_chain ~iterations =
+  if iterations < 1 then invalid_arg "Numeric.refinement_chain: need at least one stage";
+  let normalize m =
+    let norm = frobenius m in
+    if norm <= 1e-12 then m else scale (1.0 /. norm) m
+  in
+  let rec build k =
+    if k = 0 then Aspipe_skel.Pipe.last normalize
+    else Aspipe_skel.Pipe.(jacobi_sweep @> build (k - 1))
+  in
+  build iterations

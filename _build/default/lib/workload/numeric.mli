@@ -1,0 +1,28 @@
+(** A dense linear-algebra workload: small square matrices and the stage
+    kernels (multiply, relax, scale) of an iterative numeric pipeline. *)
+
+type t = { n : int; data : float array }
+(** Row-major [n × n]. *)
+
+val create : int -> f:(row:int -> col:int -> float) -> t
+val identity : int -> t
+val random : Aspipe_util.Rng.t -> int -> t
+val get : t -> row:int -> col:int -> float
+
+val multiply : t -> t -> t
+(** Raises [Invalid_argument] on dimension mismatch. *)
+
+val add : t -> t -> t
+val scale : float -> t -> t
+val transpose : t -> t
+
+val jacobi_sweep : t -> t
+(** One smoothing sweep: every interior entry becomes the mean of its four
+    neighbours (borders kept) — a stand-in for a stencil stage. *)
+
+val frobenius : t -> float
+val max_abs_diff : t -> t -> float
+
+val refinement_chain : iterations:int -> (t, t) Aspipe_skel.Pipe.t
+(** [iterations] Jacobi stages followed by normalization by the Frobenius
+    norm — a numeric pipeline with naturally balanced stages. *)

@@ -1,0 +1,102 @@
+module Rng = Aspipe_util.Rng
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_word_char c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !out
+
+let fingerprint tokens =
+  let fnv_prime = 0x100000001b3 in
+  let offset_basis = 0x3bf29ce484222325 in
+  let hash =
+    List.fold_left
+      (fun acc token ->
+        String.fold_left
+          (fun h c -> (h lxor Char.code c) * fnv_prime land max_int)
+          (acc * 31 land max_int) token)
+      offset_basis tokens
+  in
+  hash lxor List.length tokens
+
+let rle_encode s =
+  let n = String.length s in
+  let rec runs i acc =
+    if i >= n then List.rev acc
+    else begin
+      let c = s.[i] in
+      let j = ref i in
+      while !j < n && s.[!j] = c do incr j done;
+      runs !j ((c, !j - i) :: acc)
+    end
+  in
+  runs 0 []
+
+let rle_decode runs =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (c, k) ->
+      if k <= 0 then invalid_arg "Textproc.rle_decode: non-positive run length";
+      for _ = 1 to k do Buffer.add_char buf c done)
+    runs;
+  Buffer.contents buf
+
+let word_count s =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun token ->
+      Hashtbl.replace table token (1 + Option.value ~default:0 (Hashtbl.find_opt table token)))
+    (tokenize s);
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  List.sort
+    (fun (wa, ca) (wb, cb) -> if ca <> cb then compare cb ca else compare wa wb)
+    entries
+
+let vocabulary =
+  [|
+    "grid"; "pipeline"; "stage"; "skeleton"; "adaptive"; "mapping"; "processor"; "network";
+    "throughput"; "latency"; "bandwidth"; "schedule"; "monitor"; "forecast"; "migrate"; "state";
+    "work"; "item"; "stream"; "input"; "output"; "model"; "markov"; "steady"; "rate"; "service";
+    "move"; "process"; "node"; "link"; "site"; "user"; "load"; "busy"; "free"; "probe";
+    "calibrate"; "policy"; "threshold"; "gain"; "cost"; "stall"; "window"; "sample"; "noise";
+    "drop"; "queue"; "buffer"; "domain"; "channel"; "farm"; "worker"; "task"; "seed"; "trace";
+    "event"; "clock"; "engine"; "signal"; "server"; "speed"; "share"; "block"; "round";
+  |]
+
+let random_document rng ~words =
+  if words <= 0 then invalid_arg "Textproc.random_document: words must be positive";
+  let n = Array.length vocabulary in
+  let buf = Buffer.create (words * 6) in
+  for i = 1 to words do
+    (* Zipf-ish: square the uniform draw to favour low indices. *)
+    let u = Rng.float rng in
+    let idx = int_of_float (u *. u *. Float.of_int n) in
+    Buffer.add_string buf vocabulary.(min (n - 1) idx);
+    if i < words then Buffer.add_char buf (if i mod 12 = 0 then '\n' else ' ')
+  done;
+  Buffer.contents buf
+
+let cleanup tokens =
+  List.filter_map
+    (fun token ->
+      let token =
+        if String.length token > 1 && String.ends_with ~suffix:"s" token then
+          String.sub token 0 (String.length token - 1)
+        else token
+      in
+      if String.length token = 0 then None else Some token)
+    tokens
+
+let analysis_chain () =
+  let open Aspipe_skel.Pipe in
+  tokenize @> cleanup @> last fingerprint

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Aspipe_core Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Aspipe_workload Format Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Aspipe_des Aspipe_util Float List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Aspipe_exp Float List Printf

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Aspipe_des Aspipe_grid Aspipe_util Float List Printf String

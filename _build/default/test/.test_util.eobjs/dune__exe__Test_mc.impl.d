@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Aspipe_skel Aspipe_util Aspipe_workload Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Aspipe_des Aspipe_grid Aspipe_model Aspipe_skel Aspipe_util Float Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_skel.ml: Alcotest Array Aspipe_des Aspipe_grid Aspipe_skel Aspipe_util Domain Float Fun List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Aspipe_util Filename Float Format List Printf QCheck2 QCheck_alcotest String Sys

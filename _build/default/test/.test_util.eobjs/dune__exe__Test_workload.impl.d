@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Aspipe_skel Aspipe_util Aspipe_workload Float List QCheck2 QCheck_alcotest

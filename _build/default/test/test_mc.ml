@@ -1,0 +1,137 @@
+(* Tests for the shared-memory backend: every parallel execution strategy
+   must agree exactly with the sequential reference, under back pressure,
+   fusion, replication and exceptions. *)
+
+module Pipe = Aspipe_skel.Pipe
+module Skel_mc = Aspipe_skel.Skel_mc
+module Farm_mc = Aspipe_skel.Farm_mc
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let int_chain =
+  let open Pipe in
+  (fun x -> x + 3) @> (fun x -> x * 2) @> (fun x -> x - 1) @> last (fun x -> x * x)
+
+let test_run_matches_seq () =
+  let inputs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "parallel = sequential" (Skel_mc.run_seq int_chain inputs)
+    (Skel_mc.run int_chain inputs)
+
+let test_run_preserves_order =
+  qtest "run preserves input order for any payload"
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun inputs -> Skel_mc.run int_chain inputs = List.map (Pipe.apply int_chain) inputs)
+
+let test_run_empty () =
+  Alcotest.(check (list int)) "empty stream" [] (Skel_mc.run int_chain [])
+
+let test_run_single_item () =
+  Alcotest.(check (list int)) "one item" [ Pipe.apply int_chain 7 ] (Skel_mc.run int_chain [ 7 ])
+
+let test_run_capacity_one () =
+  let inputs = List.init 50 Fun.id in
+  Alcotest.(check (list int)) "tight back pressure"
+    (Skel_mc.run_seq int_chain inputs)
+    (Skel_mc.run ~capacity:1 int_chain inputs)
+
+let test_run_grouped_matches () =
+  let inputs = List.init 60 Fun.id in
+  let expected = Skel_mc.run_seq int_chain inputs in
+  List.iter
+    (fun groups ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "grouped %s" (String.concat "" (List.map string_of_int (Array.to_list groups))))
+        expected
+        (Skel_mc.run_grouped ~groups int_chain inputs))
+    [ [| 0; 0; 0; 0 |]; [| 0; 0; 1; 1 |]; [| 0; 1; 2; 3 |]; [| 0; 1; 1; 2 |] ]
+
+let test_run_heterogeneous_types () =
+  let open Pipe in
+  let chain = string_of_int @> String.length @> last (fun n -> n * 10) in
+  Alcotest.(check (list int)) "types change across stages" [ 10; 20; 30; 40 ]
+    (Skel_mc.run chain [ 1; 10; 100; 1000 ])
+
+let test_run_timed_returns_outputs () =
+  let outputs, seconds = Skel_mc.run_timed int_chain [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "outputs intact" (Skel_mc.run_seq int_chain [ 1; 2; 3 ]) outputs;
+  Alcotest.(check bool) "time non-negative" true (seconds >= 0.0)
+
+(* ----------------------------------------------------------------- Farm *)
+
+let test_farm_matches_map =
+  qtest "farm map = List.map at any worker count"
+    QCheck2.Gen.(pair (list_size (int_range 0 100) int) (int_range 1 6))
+    (fun (xs, workers) -> Farm_mc.map ~workers (fun x -> (x * 7) mod 1001) xs
+                          = List.map (fun x -> (x * 7) mod 1001) xs)
+
+let test_farm_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Farm_mc.map ~workers:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "workers=1 computes inline" [ 2; 4 ]
+    (Farm_mc.map ~workers:1 (fun x -> x * 2) [ 1; 2 ])
+
+let test_farm_more_workers_than_items () =
+  Alcotest.(check (list int)) "workers > items" [ 1; 4; 9 ]
+    (Farm_mc.map ~workers:16 (fun x -> x * x) [ 1; 2; 3 ])
+
+let test_farm_array () =
+  Alcotest.(check (array int)) "array variant" [| 2; 4; 6 |]
+    (Farm_mc.map_array ~workers:3 (fun x -> 2 * x) [| 1; 2; 3 |])
+
+let test_farm_exception_propagates () =
+  let boom = Failure "boom" in
+  Alcotest.check_raises "worker exception re-raised" boom (fun () ->
+      ignore (Farm_mc.map ~workers:3 (fun x -> if x = 50 then raise boom else x)
+                (List.init 100 Fun.id)))
+
+let test_farm_invalid_workers () =
+  Alcotest.check_raises "workers 0" (Invalid_argument "Farm_mc: workers must be positive")
+    (fun () -> ignore (Farm_mc.map ~workers:0 Fun.id [ 1 ]))
+
+let test_farm_as_pipeline_stage () =
+  Alcotest.(check (list int)) "pipeline_stage alias" [ 1; 8; 27 ]
+    (Farm_mc.pipeline_stage ~workers:2 (fun x -> x * x * x) [ 1; 2; 3 ])
+
+(* --------------------------------------------------- cross-backend checks *)
+
+let test_image_chain_backends_agree () =
+  let rng = Aspipe_util.Rng.create 8 in
+  let frames = List.init 4 (fun _ -> Aspipe_workload.Image.random rng ~width:48 ~height:48) in
+  let chain = Aspipe_workload.Image.standard_chain ~blur_radius:2 in
+  let digest images =
+    List.fold_left (fun acc i -> acc +. Aspipe_workload.Image.checksum i) 0.0 images
+  in
+  let reference = digest (Skel_mc.run_seq chain frames) in
+  Alcotest.(check (float 1e-6)) "pipeline backend" reference (digest (Skel_mc.run chain frames));
+  Alcotest.(check (float 1e-6)) "fused backend" reference
+    (digest (Skel_mc.run_grouped ~groups:[| 0; 0; 1; 1; 1 |] chain frames));
+  Alcotest.(check (float 1e-6)) "farmed whole chain" reference
+    (digest (Farm_mc.map ~workers:3 (Pipe.apply chain) frames))
+
+let () =
+  Alcotest.run "aspipe_mc"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_run_matches_seq;
+          test_run_preserves_order;
+          Alcotest.test_case "empty" `Quick test_run_empty;
+          Alcotest.test_case "single item" `Quick test_run_single_item;
+          Alcotest.test_case "capacity 1" `Quick test_run_capacity_one;
+          Alcotest.test_case "grouped" `Quick test_run_grouped_matches;
+          Alcotest.test_case "heterogeneous types" `Quick test_run_heterogeneous_types;
+          Alcotest.test_case "timed" `Quick test_run_timed_returns_outputs;
+        ] );
+      ( "farm",
+        [
+          test_farm_matches_map;
+          Alcotest.test_case "empty & single" `Quick test_farm_empty_and_single;
+          Alcotest.test_case "more workers than items" `Quick test_farm_more_workers_than_items;
+          Alcotest.test_case "array variant" `Quick test_farm_array;
+          Alcotest.test_case "exception propagates" `Quick test_farm_exception_propagates;
+          Alcotest.test_case "invalid workers" `Quick test_farm_invalid_workers;
+          Alcotest.test_case "pipeline stage alias" `Quick test_farm_as_pipeline_stage;
+        ] );
+      ( "cross-backend",
+        [ Alcotest.test_case "image chain agreement" `Slow test_image_chain_backends_agree ] );
+    ]

@@ -1,0 +1,707 @@
+(* Tests for the performance-model library: mappings, cost specs, the
+   analytic bottleneck evaluator, the CTMC evaluator (including regression
+   against published PEPA-workbench figures) and mapping search. *)
+
+module Engine = Aspipe_des.Engine
+module Topology = Aspipe_grid.Topology
+module Stage = Aspipe_skel.Stage
+module Stream_spec = Aspipe_skel.Stream_spec
+module Mapping = Aspipe_model.Mapping
+module Costspec = Aspipe_model.Costspec
+module Analytic = Aspipe_model.Analytic
+module Ctmc = Aspipe_model.Ctmc
+module Search = Aspipe_model.Search
+module Predictor = Aspipe_model.Predictor
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* -------------------------------------------------------------- Mapping *)
+
+let test_mapping_of_array () =
+  let m = Mapping.of_array ~processors:3 [| 0; 2; 1 |] in
+  Alcotest.(check int) "stages" 3 (Mapping.stages m);
+  Alcotest.(check int) "processor_of" 2 (Mapping.processor_of m 1);
+  Alcotest.(check string) "to_string" "(0,2,1)" (Mapping.to_string m);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Mapping.of_array: processor out of range") (fun () ->
+      ignore (Mapping.of_array ~processors:2 [| 0; 2 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Mapping.of_array: empty") (fun () ->
+      ignore (Mapping.of_array ~processors:2 [||]))
+
+let test_mapping_round_robin () =
+  Alcotest.(check (array int)) "round robin" [| 0; 1; 2; 0; 1 |]
+    (Mapping.to_array (Mapping.round_robin ~stages:5 ~processors:3))
+
+let test_mapping_blocks () =
+  Alcotest.(check (array int)) "even blocks" [| 0; 0; 1; 1 |]
+    (Mapping.to_array (Mapping.blocks ~stages:4 ~processors:2));
+  Alcotest.(check (array int)) "uneven blocks front-load the remainder" [| 0; 0; 1; 1; 2; 2; 3 |]
+    (Mapping.to_array (Mapping.blocks ~stages:7 ~processors:4));
+  Alcotest.(check (array int)) "more processors than stages" [| 0; 1 |]
+    (Mapping.to_array (Mapping.blocks ~stages:2 ~processors:5))
+
+let test_mapping_enumerate () =
+  Alcotest.(check int) "Np^Ns candidates" 27
+    (List.length (Mapping.enumerate ~stages:3 ~processors:3 ()));
+  let pinned = Mapping.enumerate ~fix_first_on:1 ~stages:3 ~processors:3 () in
+  Alcotest.(check int) "pinned space" 9 (List.length pinned);
+  List.iter
+    (fun m ->
+      if Mapping.processor_of m 0 <> 1 then Alcotest.fail "pin violated")
+    pinned;
+  (* All candidates distinct. *)
+  let as_lists = List.map (fun m -> Array.to_list (Mapping.to_array m)) pinned in
+  Alcotest.(check int) "no duplicates" 9 (List.length (List.sort_uniq compare as_lists))
+
+let test_mapping_neighbours () =
+  let m = Mapping.of_array ~processors:3 [| 0; 1 |] in
+  let ns = Mapping.neighbours m ~processors:3 in
+  Alcotest.(check int) "Ns x (Np-1) neighbours" 4 (List.length ns);
+  List.iter
+    (fun n ->
+      let diff = ref 0 in
+      Array.iteri
+        (fun i p -> if p <> Mapping.processor_of m i then incr diff)
+        (Mapping.to_array n);
+      Alcotest.(check int) "exactly one stage moves" 1 !diff)
+    ns
+
+let test_mapping_colocation () =
+  let m = Mapping.of_array ~processors:3 [| 0; 0; 2 |] in
+  Alcotest.(check (array int)) "counts" [| 2; 0; 1 |] (Mapping.colocation m ~processors:3);
+  Alcotest.(check int) "sharing of stage 0" 2 (Mapping.stages_sharing m 0);
+  Alcotest.(check int) "sharing of stage 2" 1 (Mapping.stages_sharing m 2)
+
+let test_mapping_random_in_range =
+  qtest "random mappings stay in range"
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 8) (int_range 0 1000))
+    (fun (stages, processors, seed) ->
+      let m = Mapping.random (Rng.create seed) ~stages ~processors in
+      Array.for_all (fun p -> p >= 0 && p < processors) (Mapping.to_array m))
+
+(* ------------------------------------------------------------- Costspec *)
+
+let build_spec ?(n = 3) ?(latency = 0.01) () =
+  let engine = Engine.create () in
+  let topo = Topology.uniform engine ~n ~speed:10.0 ~latency ~bandwidth:1e6 () in
+  let stages = Stage.balanced ~n:2 ~work:2.0 ~output_bytes:1e3 () in
+  let input = Stream_spec.make ~items:10 ~item_bytes:1e3 () in
+  Costspec.of_topology ~topo ~stages ~input ()
+
+let test_costspec_dimensions () =
+  let spec = build_spec () in
+  Alcotest.(check int) "processors" 3 (Costspec.processors spec);
+  Alcotest.(check int) "stages" 2 (Costspec.stages spec);
+  Costspec.validate spec
+
+let test_costspec_service_rate_sharing () =
+  let spec = build_spec () in
+  let spread = Mapping.of_array ~processors:3 [| 0; 1 |] in
+  let packed = Mapping.of_array ~processors:3 [| 0; 0 |] in
+  (* speed 10, work 2 -> 5 items/s alone; halved when sharing. *)
+  check_float "alone" 5.0 (Costspec.service_rate spec spread 0);
+  check_float "shared" 2.5 (Costspec.service_rate spec packed 0)
+
+let test_costspec_move_rates () =
+  let spec = build_spec ~latency:0.1 () in
+  let spread = Mapping.of_array ~processors:3 [| 0; 1 |] in
+  let packed = Mapping.of_array ~processors:3 [| 0; 0 |] in
+  (* Remote interior move: 0.1 + 1e3/1e6 = 0.101 s. *)
+  check_close ~eps:1e-9 "remote move rate" (1.0 /. 0.101) (Costspec.move_rate spec spread 1);
+  Alcotest.(check bool) "local move much faster" true
+    (Costspec.move_rate spec packed 1 > 1000.0);
+  (* Boundary moves use the user link. *)
+  check_close ~eps:1e-9 "input move" (1.0 /. 0.101) (Costspec.move_rate spec spread 0);
+  check_close ~eps:1e-9 "output move" (1.0 /. 0.101) (Costspec.move_rate spec spread 2);
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Costspec.move_rate: index out of range") (fun () ->
+      ignore (Costspec.move_rate spec spread 3))
+
+let test_costspec_with_stage_work () =
+  let spec = build_spec () in
+  let spec' = Costspec.with_stage_work spec [| 1.0; 4.0 |] in
+  let m = Mapping.of_array ~processors:3 [| 0; 1 |] in
+  check_float "updated work vector" 2.5 (Costspec.service_rate spec' m 1);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Costspec.with_stage_work: length mismatch") (fun () ->
+      ignore (Costspec.with_stage_work spec [| 1.0 |]))
+
+
+let test_costspec_link_quality_override () =
+  let engine = Engine.create () in
+  let topo = Topology.uniform engine ~n:2 ~speed:10.0 ~latency:0.1 ~bandwidth:1e6 () in
+  let stages = Stage.balanced ~n:2 ~work:1.0 ~output_bytes:1e3 () in
+  let input = Stream_spec.make ~items:5 ~item_bytes:1e3 () in
+  let nominal = Costspec.of_topology ~topo ~stages ~input () in
+  let degraded =
+    Costspec.of_topology
+      ~link_quality:(fun ~src:_ ~dst:_ -> 0.5)
+      ~user_link_quality:(fun _ -> 0.5)
+      ~topo ~stages ~input ()
+  in
+  check_close ~eps:1e-9 "latency doubles at quality 0.5"
+    (2.0 *. nominal.Costspec.latency.(0).(1))
+    degraded.Costspec.latency.(0).(1);
+  check_close ~eps:1e-9 "bandwidth halves"
+    (nominal.Costspec.bandwidth.(0).(1) /. 2.0)
+    degraded.Costspec.bandwidth.(0).(1);
+  check_close ~eps:1e-9 "user latency doubles"
+    (2.0 *. nominal.Costspec.user_latency.(1))
+    degraded.Costspec.user_latency.(1);
+  (* Ground-truth default picks up live link quality. *)
+  Aspipe_grid.Link.set_quality (Topology.link topo ~src:0 ~dst:1) 0.25;
+  let live = Costspec.of_topology ~topo ~stages ~input () in
+  check_close ~eps:1e-9 "default reads live quality"
+    (4.0 *. nominal.Costspec.latency.(0).(1))
+    live.Costspec.latency.(0).(1)
+
+(* ------------------------------------------------------------- Analytic *)
+
+let synthetic_spec ~stage_work ~node_rates ?(latency = 0.0001) ?(bandwidth = 1e9) () =
+  let np = Array.length node_rates in
+  {
+    Costspec.stage_work;
+    node_rates;
+    item_bytes = 1.0;
+    output_bytes = Array.make (Array.length stage_work) 1.0;
+    latency = Array.init np (fun _ -> Array.make np latency);
+    bandwidth = Array.init np (fun _ -> Array.make np bandwidth);
+    user_latency = Array.make np latency;
+    user_bandwidth = Array.make np bandwidth;
+  }
+
+let test_analytic_processor_bottleneck () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 2.0 |] () in
+  let m = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let station, rate = Analytic.bottleneck spec m in
+  check_close ~eps:1e-3 "slow node binds" 2.0 rate;
+  (* The binding station involves the slow node: either its processor
+     station or the cycle of the stage mapped to it. *)
+  (match station with
+  | Analytic.Processor 1 | Analytic.Stage_cycle 1 -> ()
+  | Analytic.Processor _ | Analytic.Stage_cycle _ ->
+      Alcotest.fail "expected the slow node to bind");
+  check_close ~eps:1e-3 "throughput = bottleneck rate" 2.0 (Analytic.throughput spec m)
+
+let test_analytic_cycle_bottleneck () =
+  (* Fast nodes, dreadful link: the stage cycle binds. *)
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 100.0; 100.0 |] ~latency:0.5 ()
+  in
+  let m = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let station, rate = Analytic.bottleneck spec m in
+  (match station with
+  | Analytic.Stage_cycle _ -> ()
+  | Analytic.Processor _ -> Alcotest.fail "expected a stage cycle as bottleneck");
+  check_close ~eps:0.01 "cycle ~ service + move" (1.0 /. (0.01 +. 0.5)) rate
+
+let test_analytic_colocation_halves () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let spread = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let packed = Mapping.of_array ~processors:2 [| 0; 0 |] in
+  let ratio = Analytic.throughput spec spread /. Analytic.throughput spec packed in
+  check_close ~eps:0.01 "spread is twice as fast" 2.0 ratio
+
+let test_analytic_fill_and_completion () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let m = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let fill = Analytic.fill_latency spec m in
+  Alcotest.(check bool) "fill covers both services" true (fill >= 0.2);
+  let completion = Analytic.completion_time spec m ~items:100 in
+  Alcotest.(check bool) "completion beyond fill" true (completion > fill);
+  check_close ~eps:0.1 "completion ~ fill + (n-1)/X" (fill +. (99.0 /. Analytic.throughput spec m))
+    completion;
+  Alcotest.check_raises "items 0"
+    (Invalid_argument "Analytic.completion_time: items must be positive") (fun () ->
+      ignore (Analytic.completion_time spec m ~items:0))
+
+let test_analytic_monotone_in_speed =
+  qtest ~count:50 "throughput never decreases when a node speeds up"
+    QCheck2.Gen.(triple (int_range 0 2) (float_range 1.0 20.0) (int_range 0 999))
+    (fun (node, extra, seed) ->
+      let rng = Rng.create seed in
+      let rates = Array.init 3 (fun _ -> 1.0 +. (9.0 *. Rng.float rng)) in
+      let spec = synthetic_spec ~stage_work:[| 1.0; 2.0; 1.0 |] ~node_rates:rates () in
+      let faster = Array.copy rates in
+      faster.(node) <- faster.(node) +. extra;
+      let spec' = synthetic_spec ~stage_work:[| 1.0; 2.0; 1.0 |] ~node_rates:faster () in
+      let m = Mapping.of_array ~processors:3 [| 0; 1; 2 |] in
+      Analytic.throughput spec' m >= Analytic.throughput spec m -. 1e-9)
+
+(* ----------------------------------------------------------------- Ctmc *)
+
+let test_ctmc_state_count () =
+  let model = Ctmc.build ~service_rates:[| 1.0; 1.0; 1.0 |] ~move_rates:(Array.make 4 10.0) in
+  Alcotest.(check int) "3^3 states" 27 (Ctmc.state_count model);
+  Alcotest.(check bool) "transitions exist" true (Ctmc.transition_count model > 27)
+
+let test_ctmc_build_validation () =
+  Alcotest.check_raises "wrong move vector"
+    (Invalid_argument "Ctmc.build: move_rates must have Ns+1 entries") (fun () ->
+      ignore (Ctmc.build ~service_rates:[| 1.0 |] ~move_rates:[| 1.0 |]));
+  Alcotest.check_raises "non-positive rate" (Invalid_argument "Ctmc: rates must be positive")
+    (fun () -> ignore (Ctmc.build ~service_rates:[| 0.0 |] ~move_rates:[| 1.0; 1.0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Ctmc.build: no stages") (fun () ->
+      ignore (Ctmc.build ~service_rates:[||] ~move_rates:[| 1.0 |]))
+
+let test_ctmc_steady_state_properties () =
+  let model =
+    Ctmc.build ~service_rates:[| 2.0; 5.0; 3.0 |] ~move_rates:[| 100.0; 7.0; 9.0; 100.0 |]
+  in
+  let pi = Ctmc.steady_state model in
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  check_close ~eps:1e-9 "distribution sums to 1" 1.0 total;
+  Array.iter (fun p -> if p < -1e-12 then Alcotest.fail "negative probability") pi;
+  Alcotest.(check bool) "balance residual tiny" true (Ctmc.residual model pi < 1e-6)
+
+(* Regression against the published PEPA-workbench results for this model
+   (Benoit, Cole, Gilmore, Hillston; ICCS 2004, Section 4.2): 3 stages,
+   li-i = 0.0001 s, no input/output transfer cost, equitable sharing. *)
+let pepa_throughput ~times ~mapping =
+  (* times.(p) = seconds per stage on processor p when alone. *)
+  let processors = Array.length times in
+  let m = Mapping.of_array ~processors mapping in
+  let service_rates =
+    Array.init 3 (fun i ->
+        let p = mapping.(i) in
+        1.0 /. times.(p) /. Float.of_int (Mapping.stages_sharing m i))
+  in
+  let fast = 1.0 /. 0.0001 in
+  let move_rates = [| fast; fast; fast; fast |] in
+  Ctmc.throughput (Ctmc.build ~service_rates ~move_rates)
+
+let test_ctmc_reproduces_pepa_row1 () =
+  (* (1,2,3) with t = 0.1 everywhere: published throughput 5.63467. *)
+  check_close ~eps:0.01 "one stage per processor" 5.63467
+    (pepa_throughput ~times:[| 0.1; 0.1; 0.1 |] ~mapping:[| 0; 1; 2 |])
+
+let test_ctmc_reproduces_pepa_row2 () =
+  (* Same with t = 0.2: published 2.81892 (exactly half). *)
+  check_close ~eps:0.01 "busy processors halve throughput" 2.81892
+    (pepa_throughput ~times:[| 0.2; 0.2; 0.2 |] ~mapping:[| 0; 1; 2 |])
+
+let test_ctmc_reproduces_pepa_all_on_one () =
+  (* (1,1,1) with t = 0.1: published 1.87963. *)
+  check_close ~eps:0.01 "all stages on one processor" 1.87963
+    (pepa_throughput ~times:[| 0.1; 0.1; 0.1 |] ~mapping:[| 0; 0; 0 |])
+
+let test_ctmc_matches_analytic_on_fast_network () =
+  (* With negligible move times and a dominant slow stage, blocking barely
+     matters: CTMC must approach the bottleneck rate. *)
+  let model =
+    Ctmc.build ~service_rates:[| 100.0; 1.0; 100.0 |] ~move_rates:(Array.make 4 1e6)
+  in
+  check_close ~eps:0.02 "dominant bottleneck" 1.0 (Ctmc.throughput model)
+
+let test_ctmc_of_costspec_consistency () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let m = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let x = Ctmc.throughput (Ctmc.of_costspec spec m) in
+  Alcotest.(check bool) "between half and full bottleneck" true
+    (x > 0.5 *. Analytic.throughput spec m && x <= Analytic.throughput spec m +. 1e-9)
+
+
+(* ----------------------------------------------------------- Farm_model *)
+
+module Farm_model = Aspipe_model.Farm_model
+
+let test_farm_model_rates () =
+  let model = Farm_model.make ~work:2.0 ~node_rates:[| 10.0; 4.0 |] in
+  check_float "worker rate" 5.0 (Farm_model.worker_rate model 0);
+  check_float "rr binds at the slowest" 4.0
+    (Farm_model.round_robin_throughput model ~workers:[ 0; 1 ]);
+  check_float "proportional sums" 7.0 (Farm_model.proportional_throughput model ~workers:[ 0; 1 ]);
+  check_float "empty set" 0.0 (Farm_model.round_robin_throughput model ~workers:[]);
+  Alcotest.check_raises "bad work" (Invalid_argument "Farm_model.make: work must be positive")
+    (fun () -> ignore (Farm_model.make ~work:0.0 ~node_rates:[| 1.0 |]))
+
+let test_farm_model_best_set () =
+  (* rates 14,12,10,10,8,6: prefixes give 14,24,30,40,40,36 -> best is the
+     4-element prefix (ties resolve to the first maximum found). *)
+  let model = Farm_model.make ~work:1.0 ~node_rates:[| 14.0; 12.0; 10.0; 10.0; 8.0; 6.0 |] in
+  let set, score = Farm_model.best_round_robin_set model ~candidates:[ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "drops the slow tail" [ 0; 1; 2; 3 ] set;
+  check_float "score" 40.0 score
+
+let test_farm_model_best_set_exhaustive =
+  qtest ~count:60 "best prefix beats every subset"
+    QCheck2.Gen.(array_size (int_range 1 8) (float_range 1.0 20.0))
+    (fun rates ->
+      let model = Farm_model.make ~work:1.0 ~node_rates:rates in
+      let candidates = List.init (Array.length rates) Fun.id in
+      let _, best = Farm_model.best_round_robin_set model ~candidates in
+      (* Enumerate all non-empty subsets and verify none beats the prefix. *)
+      let n = List.length candidates in
+      let rec subsets mask =
+        if mask >= 1 lsl n then true
+        else begin
+          let subset = List.filter (fun i -> mask land (1 lsl i) <> 0) candidates in
+          (subset = [] || Farm_model.round_robin_throughput model ~workers:subset <= best +. 1e-9)
+          && subsets (mask + 1)
+        end
+      in
+      subsets 1)
+
+
+(* ----------------------------------------------------------- Repl_model *)
+
+module Repl_model = Aspipe_model.Repl_model
+
+let test_repl_model_capacity () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 4.0 |] ~node_rates:[| 10.0; 10.0; 10.0 |] () in
+  let replicas = [| [ 0 ]; [ 1; 2 ] |] in
+  check_close ~eps:1e-9 "plain stage capacity" 10.0 (Repl_model.stage_capacity spec ~replicas 0);
+  check_close ~eps:1e-9 "replicated hot stage sums shares" 5.0
+    (Repl_model.stage_capacity spec ~replicas 1);
+  check_close ~eps:1e-9 "throughput is the min" 5.0 (Repl_model.throughput spec ~replicas)
+
+let test_repl_model_shared_node_splits () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  (* Node 0 carries both stages: each gets half its rate. *)
+  let replicas = [| [ 0 ]; [ 0; 1 ] |] in
+  Alcotest.(check (array int)) "assignment counts" [| 2; 1 |]
+    (Repl_model.node_share ~replicas ~processors:2);
+  check_close ~eps:1e-9 "stage 0 runs on a half share" 5.0
+    (Repl_model.stage_capacity spec ~replicas 0);
+  check_close ~eps:1e-9 "stage 1 gets half of node0 plus all of node1" 15.0
+    (Repl_model.stage_capacity spec ~replicas 1)
+
+let test_repl_model_best_replication () =
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 1.0; 4.0; 1.0 |]
+      ~node_rates:(Array.make 7 10.0) ()
+  in
+  let replicas, predicted = Repl_model.best_replication spec ~budget:7 ~processors:7 in
+  Alcotest.(check int) "hot stage got the extra replicas" 4 (List.length replicas.(2));
+  check_close ~eps:1e-9 "bottleneck resolved" 10.0 predicted;
+  Alcotest.check_raises "budget too small"
+    (Invalid_argument "Repl_model.best_replication: budget below one replica per stage")
+    (fun () -> ignore (Repl_model.best_replication spec ~budget:3 ~processors:7))
+
+let test_repl_model_validation () =
+  let spec = synthetic_spec ~stage_work:[| 1.0 |] ~node_rates:[| 10.0 |] () in
+  Alcotest.check_raises "arity" (Invalid_argument "Repl_model: one replica set per stage required")
+    (fun () -> ignore (Repl_model.throughput spec ~replicas:[||]));
+  Alcotest.check_raises "empty set" (Invalid_argument "Repl_model: empty replica set") (fun () ->
+      ignore (Repl_model.throughput spec ~replicas:[| [] |]))
+
+
+let test_repl_model_monotone_in_replicas =
+  qtest ~count:50 "adding a replica to a fresh node never lowers throughput"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let stages = 2 + Rng.int rng 3 in
+      let processors = stages + 2 in
+      let spec =
+        synthetic_spec
+          ~stage_work:(Array.init stages (fun _ -> Rng.range rng 0.5 3.0))
+          ~node_rates:(Array.init processors (fun _ -> Rng.range rng 5.0 15.0))
+          ()
+      in
+      (* One replica per stage on its own node; then give a random stage the
+         first spare node. *)
+      let base = Array.init stages (fun i -> [ i ]) in
+      let grown = Array.copy base in
+      let lucky = Rng.int rng stages in
+      grown.(lucky) <- [ lucky; stages ];
+      Repl_model.throughput spec ~replicas:grown
+      >= Repl_model.throughput spec ~replicas:base -. 1e-9)
+
+(* ---------------------------------------------------------- Pepa_export *)
+
+module Pepa_export = Aspipe_model.Pepa_export
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let test_pepa_export_structure () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let m = Mapping.of_array ~processors:2 [| 0; 0; 1 |] in
+  let source = Pepa_export.pipeline spec m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (string_contains source needle))
+    [
+      "Stage1 = (move1, infty).(process1, infty).(move2, infty).Stage1;";
+      "Stage3";
+      "Processor1 = (process1, mu1).Processor1 + (process2, mu2).Processor1;";
+      "Processor2 = (process3, mu3).Processor2;";
+      "Network =";
+      "Pipeline = Stage1 <move2> (Stage2 <move3> (Stage3));";
+      "Mapping = Network <move1, move2, move3, move4> Pipeline";
+    ]
+
+let test_pepa_export_rates_match_ctmc_inputs () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 2.0 |] ~node_rates:[| 10.0; 5.0 |] () in
+  let m = Mapping.of_array ~processors:2 [| 0; 1 |] in
+  let rates = Pepa_export.rate_table spec m in
+  Alcotest.(check int) "Ns mus + Ns+1 lambdas" 5 (List.length rates);
+  check_close ~eps:1e-9 "mu1 = service rate of stage 0" (Costspec.service_rate spec m 0)
+    (List.assoc "mu1" rates);
+  check_close ~eps:1e-9 "lambda2 = interior move rate" (Costspec.move_rate spec m 1)
+    (List.assoc "lambda2" rates)
+
+(* --------------------------------------------------------- Ctmc solvers *)
+
+let test_ctmc_solvers_agree () =
+  let model =
+    Ctmc.build ~service_rates:[| 2.0; 5.0; 3.0 |] ~move_rates:[| 50.0; 7.0; 9.0; 50.0 |]
+  in
+  let gs = Ctmc.throughput ~solver:Ctmc.Gauss_seidel model in
+  let power = Ctmc.throughput ~solver:Ctmc.Power model in
+  check_close ~eps:1e-6 "both solvers find the same throughput" gs power
+
+let test_ctmc_gauss_seidel_handles_stiff () =
+  (* Rates spanning 6 orders of magnitude: power iteration at default budget
+     cannot converge, Gauss-Seidel must. *)
+  let model = Ctmc.build ~service_rates:(Array.make 3 1.0) ~move_rates:(Array.make 4 1e6) in
+  let x = Ctmc.throughput ~solver:Ctmc.Gauss_seidel model in
+  Alcotest.(check bool) "plausible throughput" true (x > 0.3 && x <= 1.0);
+  Alcotest.check_raises "power diverges in the iteration budget"
+    (Failure "Ctmc.steady_state: no convergence") (fun () ->
+      ignore (Ctmc.throughput ~solver:Ctmc.Power ~max_iter:1000 model))
+
+
+let test_cross_model_bounds =
+  qtest ~count:40 "ctmc never exceeds the analytic saturation bound"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let stages = 2 + Rng.int rng 3 in
+      let processors = 2 + Rng.int rng 3 in
+      let spec =
+        synthetic_spec
+          ~stage_work:(Array.init stages (fun _ -> Rng.range rng 0.5 2.0))
+          ~node_rates:(Array.init processors (fun _ -> Rng.range rng 5.0 15.0))
+          ~latency:(Rng.range rng 1e-3 0.05)
+          ()
+      in
+      let m = Mapping.random rng ~stages ~processors in
+      let analytic = Analytic.throughput spec m in
+      let ctmc = Ctmc.throughput (Ctmc.of_costspec spec m) in
+      ctmc <= analytic +. (1e-6 *. analytic) && ctmc > 0.0)
+
+(* --------------------------------------------------------------- Search *)
+
+let table_evaluator ~processors table m =
+  (* Deterministic scoring read from a table keyed by the mapping. *)
+  ignore processors;
+  let key = Array.to_list (Mapping.to_array m) in
+  match List.assoc_opt key table with Some v -> v | None -> 0.0
+
+let test_search_exhaustive_finds_max () =
+  let table = [ ([ 0; 0 ], 1.0); ([ 0; 1 ], 3.0); ([ 1; 0 ], 2.0); ([ 1; 1 ], 0.5) ] in
+  let result = Search.exhaustive ~stages:2 ~processors:2 (table_evaluator ~processors:2 table) in
+  Alcotest.(check (array int)) "argmax" [| 0; 1 |] (Mapping.to_array result.Search.mapping);
+  check_float "score" 3.0 result.Search.score;
+  Alcotest.(check int) "evaluated everything" 4 result.Search.evaluated
+
+let test_search_exhaustive_vs_random_evaluator =
+  qtest ~count:30 "exhaustive = brute force max"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let score m =
+        (* Hash-based deterministic pseudo-score. *)
+        let h = Array.fold_left (fun acc p -> (acc * 31) + p + 7) 3 (Mapping.to_array m) in
+        Float.of_int (h mod 1000) +. Rng.float (Rng.create h)
+      in
+      ignore rng;
+      let result = Search.exhaustive ~stages:3 ~processors:3 score in
+      let best =
+        List.fold_left
+          (fun acc m -> Float.max acc (score m))
+          neg_infinity
+          (Mapping.enumerate ~stages:3 ~processors:3 ())
+      in
+      Float.abs (result.Search.score -. best) < 1e-9)
+
+let test_search_hill_climb_local_optimum () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0; 10.0 |] () in
+  let evaluator = Analytic.throughput spec in
+  let start = Mapping.of_array ~processors:3 [| 0; 0; 0 |] in
+  let result = Search.hill_climb ~start ~processors:3 evaluator in
+  (* No neighbour may beat the returned mapping. *)
+  List.iter
+    (fun n ->
+      if evaluator n > result.Search.score +. 1e-9 then Alcotest.fail "not a local optimum")
+    (Mapping.neighbours result.Search.mapping ~processors:3);
+  (* On this convex-ish landscape it should find the global optimum. *)
+  let best = Search.exhaustive ~stages:3 ~processors:3 evaluator in
+  check_close ~eps:1e-9 "hill climb matches exhaustive here" best.Search.score result.Search.score
+
+let test_search_greedy_reasonable () =
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0; 10.0; 10.0 |] ()
+  in
+  let evaluator = Analytic.throughput spec in
+  let greedy = Search.greedy ~stages:4 ~processors:4 evaluator in
+  let best = Search.exhaustive ~stages:4 ~processors:4 evaluator in
+  Alcotest.(check bool) "greedy within 60% of optimal" true
+    (greedy.Search.score >= 0.4 *. best.Search.score)
+
+let test_search_auto_switches () =
+  let spec = synthetic_spec ~stage_work:(Array.make 8 1.0) ~node_rates:(Array.make 8 10.0) () in
+  let evaluator = Analytic.throughput spec in
+  let result = Search.auto ~exhaustive_limit:100 ~stages:8 ~processors:8 evaluator in
+  (* 8^8 >> 100, so auto must have taken the greedy+hill path; its answer
+     should still be a local optimum. *)
+  List.iter
+    (fun n ->
+      if evaluator n > result.Search.score +. 1e-9 then Alcotest.fail "auto not locally optimal")
+    (Mapping.neighbours result.Search.mapping ~processors:8)
+
+let test_search_best_of () =
+  let candidates =
+    [ Mapping.of_array ~processors:2 [| 0; 0 |]; Mapping.of_array ~processors:2 [| 0; 1 |] ]
+  in
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let result = Search.best_of candidates (Analytic.throughput spec) in
+  Alcotest.(check (array int)) "spread wins" [| 0; 1 |] (Mapping.to_array result.Search.mapping);
+  Alcotest.check_raises "empty candidates" (Invalid_argument "Search.best_of: no candidates")
+    (fun () -> ignore (Search.best_of [] (Analytic.throughput spec)))
+
+
+let test_search_hill_climb_max_steps () =
+  (* max_steps 0 returns the start unchanged. *)
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0 |] () in
+  let start = Mapping.of_array ~processors:2 [| 0; 0 |] in
+  let result = Search.hill_climb ~max_steps:0 ~start ~processors:2 (Analytic.throughput spec) in
+  Alcotest.(check (array int)) "no moves taken" [| 0; 0 |] (Mapping.to_array result.Search.mapping)
+
+let test_predictor_fix_first_pins () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0 |] ~node_rates:[| 1.0; 10.0; 10.0 |] () in
+  let predictor = Predictor.make spec in
+  let pinned = Predictor.choose ~fix_first_on:0 predictor in
+  Alcotest.(check int) "stage 0 stays pinned despite the slow node" 0
+    (Mapping.processor_of pinned.Search.mapping 0);
+  let free = Predictor.choose predictor in
+  Alcotest.(check bool) "unpinned beats pinned" true
+    (free.Search.score >= pinned.Search.score)
+
+(* ------------------------------------------------------------ Predictor *)
+
+let test_predictor_kinds_agree_on_ranking () =
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 2.0 |] ()
+  in
+  let analytic = Predictor.make ~kind:Predictor.Analytic spec in
+  let ctmc = Predictor.make ~kind:Predictor.Ctmc spec in
+  let good = Mapping.of_array ~processors:2 [| 0; 0 |] in
+  let bad = Mapping.of_array ~processors:2 [| 1; 1 |] in
+  Alcotest.(check bool) "analytic prefers the fast node" true
+    (Predictor.evaluate analytic good > Predictor.evaluate analytic bad);
+  Alcotest.(check bool) "ctmc prefers the fast node" true
+    (Predictor.evaluate ctmc good > Predictor.evaluate ctmc bad)
+
+let test_predictor_rank_sorted () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0 |] ~node_rates:[| 10.0; 2.0 |] () in
+  let predictor = Predictor.make spec in
+  let ranked = Predictor.rank predictor (Mapping.enumerate ~stages:2 ~processors:2 ()) in
+  let scores = List.map snd ranked in
+  Alcotest.(check (list (float 1e-9))) "descending" (List.sort (fun a b -> compare b a) scores)
+    scores
+
+let test_predictor_choose_and_completion () =
+  let spec = synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0 |] ~node_rates:[| 10.0; 10.0; 10.0 |] () in
+  let predictor = Predictor.make spec in
+  let result = Predictor.choose predictor in
+  Alcotest.(check int) "one stage per processor is optimal" 3
+    (List.length
+       (List.sort_uniq compare (Array.to_list (Mapping.to_array result.Search.mapping))));
+  let completion = Predictor.predicted_completion predictor result.Search.mapping ~items:50 in
+  Alcotest.(check bool) "finite completion" true (Float.is_finite completion)
+
+let () =
+  Alcotest.run "aspipe_model"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "of_array" `Quick test_mapping_of_array;
+          Alcotest.test_case "round robin" `Quick test_mapping_round_robin;
+          Alcotest.test_case "blocks" `Quick test_mapping_blocks;
+          Alcotest.test_case "enumerate" `Quick test_mapping_enumerate;
+          Alcotest.test_case "neighbours" `Quick test_mapping_neighbours;
+          Alcotest.test_case "colocation" `Quick test_mapping_colocation;
+          test_mapping_random_in_range;
+        ] );
+      ( "costspec",
+        [
+          Alcotest.test_case "dimensions" `Quick test_costspec_dimensions;
+          Alcotest.test_case "service rate sharing" `Quick test_costspec_service_rate_sharing;
+          Alcotest.test_case "move rates" `Quick test_costspec_move_rates;
+          Alcotest.test_case "with_stage_work" `Quick test_costspec_with_stage_work;
+          Alcotest.test_case "link quality override" `Quick test_costspec_link_quality_override;
+        ] );
+      ( "analytic",
+        [
+          Alcotest.test_case "processor bottleneck" `Quick test_analytic_processor_bottleneck;
+          Alcotest.test_case "cycle bottleneck" `Quick test_analytic_cycle_bottleneck;
+          Alcotest.test_case "colocation halves" `Quick test_analytic_colocation_halves;
+          Alcotest.test_case "fill and completion" `Quick test_analytic_fill_and_completion;
+          test_analytic_monotone_in_speed;
+        ] );
+      ( "ctmc",
+        [
+          Alcotest.test_case "state count" `Quick test_ctmc_state_count;
+          Alcotest.test_case "build validation" `Quick test_ctmc_build_validation;
+          Alcotest.test_case "steady state properties" `Quick test_ctmc_steady_state_properties;
+          Alcotest.test_case "PEPA row: (1,2,3) t=0.1" `Quick test_ctmc_reproduces_pepa_row1;
+          Alcotest.test_case "PEPA row: (1,2,3) t=0.2" `Quick test_ctmc_reproduces_pepa_row2;
+          Alcotest.test_case "PEPA row: (1,1,1) t=0.1" `Quick test_ctmc_reproduces_pepa_all_on_one;
+          Alcotest.test_case "fast network limit" `Quick test_ctmc_matches_analytic_on_fast_network;
+          Alcotest.test_case "of_costspec consistency" `Quick test_ctmc_of_costspec_consistency;
+        ] );
+      ( "farm_model",
+        [
+          Alcotest.test_case "rates" `Quick test_farm_model_rates;
+          Alcotest.test_case "best set" `Quick test_farm_model_best_set;
+          test_farm_model_best_set_exhaustive;
+        ] );
+      ( "repl_model",
+        [
+          Alcotest.test_case "capacity" `Quick test_repl_model_capacity;
+          Alcotest.test_case "shared node splits" `Quick test_repl_model_shared_node_splits;
+          Alcotest.test_case "best replication" `Quick test_repl_model_best_replication;
+          Alcotest.test_case "validation" `Quick test_repl_model_validation;
+          test_repl_model_monotone_in_replicas;
+        ] );
+      ( "pepa_export",
+        [
+          Alcotest.test_case "structure" `Quick test_pepa_export_structure;
+          Alcotest.test_case "rates match" `Quick test_pepa_export_rates_match_ctmc_inputs;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "agree" `Quick test_ctmc_solvers_agree;
+          Alcotest.test_case "stiff chains" `Quick test_ctmc_gauss_seidel_handles_stiff;
+          test_cross_model_bounds;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "exhaustive argmax" `Quick test_search_exhaustive_finds_max;
+          test_search_exhaustive_vs_random_evaluator;
+          Alcotest.test_case "hill climb local optimum" `Quick test_search_hill_climb_local_optimum;
+          Alcotest.test_case "greedy reasonable" `Quick test_search_greedy_reasonable;
+          Alcotest.test_case "auto switches" `Quick test_search_auto_switches;
+          Alcotest.test_case "best_of" `Quick test_search_best_of;
+          Alcotest.test_case "hill climb max steps" `Quick test_search_hill_climb_max_steps;
+          Alcotest.test_case "fix_first pins" `Quick test_predictor_fix_first_pins;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "kinds agree" `Quick test_predictor_kinds_agree_on_ranking;
+          Alcotest.test_case "rank sorted" `Quick test_predictor_rank_sorted;
+          Alcotest.test_case "choose & completion" `Quick test_predictor_choose_and_completion;
+        ] );
+    ]

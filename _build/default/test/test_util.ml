@@ -1,0 +1,621 @@
+(* Unit and property tests for Aspipe_util: PRNG, variates, statistics,
+   forecasters, time series and rendering. *)
+
+module Rng = Aspipe_util.Rng
+module Variate = Aspipe_util.Variate
+module Stats = Aspipe_util.Stats
+module Forecast = Aspipe_util.Forecast
+module Timeseries = Aspipe_util.Timeseries
+module Render = Aspipe_util.Render
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy starts at same state" (Rng.bits64 a) (Rng.bits64 b);
+  (* Advance only the copy; the parent's next draw must be unaffected. *)
+  let parent_reference = Rng.copy a in
+  ignore (Rng.bits64 b);
+  ignore (Rng.bits64 b);
+  Alcotest.(check int64) "parent unaffected by copy's progress" (Rng.bits64 parent_reference)
+    (Rng.bits64 a)
+
+let test_rng_split_diverges () =
+  let parent = Rng.create 11 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split stream is distinct" true (!same < 4)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if not (x >= 0.0 && x < 1.0) then Alcotest.fail "float outside [0,1)"
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 13 in
+  let acc = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  check_close ~eps:0.01 "uniform mean near 0.5" 0.5 (!acc /. Float.of_int n)
+
+let test_rng_int_bounds =
+  qtest "Rng.int stays in bounds"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 10_000))
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_shuffle_permutes =
+  qtest "shuffle preserves the multiset"
+    QCheck2.Gen.(pair (array_size (int_range 0 50) int) (int_range 0 9999))
+    (fun (a, seed) ->
+      let rng = Rng.create seed in
+      let b = Array.copy a in
+      Rng.shuffle rng b;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+let test_rng_pick () =
+  let rng = Rng.create 2 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    if not (Array.mem (Rng.pick rng a) a) then Alcotest.fail "pick outside array"
+  done;
+  Alcotest.check_raises "empty pick rejected" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+(* -------------------------------------------------------------- Variate *)
+
+let sample_mean n draw =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. draw ()
+  done;
+  !acc /. Float.of_int n
+
+let test_variate_exponential_mean () =
+  let rng = Rng.create 21 in
+  let mean = sample_mean 50_000 (fun () -> Variate.exponential rng ~rate:2.0) in
+  check_close ~eps:0.02 "Exp(2) mean 0.5" 0.5 mean
+
+let test_variate_exponential_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "rate 0 rejected"
+    (Invalid_argument "Variate.exponential: rate must be positive") (fun () ->
+      ignore (Variate.exponential rng ~rate:0.0))
+
+let test_variate_normal_moments () =
+  let rng = Rng.create 22 in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Variate.normal rng ~mean:3.0 ~stddev:2.0) in
+  check_close ~eps:0.05 "normal mean" 3.0 (Stats.mean samples);
+  check_close ~eps:0.1 "normal stddev" 2.0 (Stats.stddev samples)
+
+let test_variate_lognormal_mean () =
+  let rng = Rng.create 23 in
+  let mu = 0.5 and sigma = 0.4 in
+  let mean = sample_mean 100_000 (fun () -> Variate.lognormal rng ~mu ~sigma) in
+  let expected = exp (mu +. (sigma *. sigma /. 2.0)) in
+  check_close ~eps:(0.03 *. expected) "lognormal mean" expected mean
+
+let test_variate_gamma_mean () =
+  let rng = Rng.create 24 in
+  let mean = sample_mean 50_000 (fun () -> Variate.gamma rng ~shape:3.0 ~scale:0.5) in
+  check_close ~eps:0.05 "Gamma(3,0.5) mean 1.5" 1.5 mean
+
+let test_variate_gamma_small_shape () =
+  let rng = Rng.create 25 in
+  let mean = sample_mean 100_000 (fun () -> Variate.gamma rng ~shape:0.5 ~scale:2.0) in
+  check_close ~eps:0.05 "Gamma(0.5,2) mean 1.0" 1.0 mean;
+  Alcotest.check_raises "shape 0 rejected"
+    (Invalid_argument "Variate.gamma: parameters must be positive") (fun () ->
+      ignore (Variate.gamma rng ~shape:0.0 ~scale:1.0))
+
+let test_variate_erlang_mean () =
+  let rng = Rng.create 26 in
+  let mean = sample_mean 20_000 (fun () -> Variate.erlang rng ~k:4 ~rate:2.0) in
+  check_close ~eps:0.05 "Erlang(4,2) mean 2.0" 2.0 mean
+
+let test_variate_pareto_support () =
+  let rng = Rng.create 27 in
+  for _ = 1 to 10_000 do
+    if Variate.pareto rng ~shape:2.5 ~scale:1.5 < 1.5 then Alcotest.fail "pareto below scale"
+  done
+
+let test_variate_weibull_positive () =
+  let rng = Rng.create 28 in
+  for _ = 1 to 10_000 do
+    if Variate.weibull rng ~shape:1.5 ~scale:2.0 <= 0.0 then Alcotest.fail "weibull non-positive"
+  done
+
+let test_variate_bernoulli_extremes () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Variate.bernoulli rng ~p:0.0);
+    Alcotest.(check bool) "p=1 always" true (Variate.bernoulli rng ~p:1.0)
+  done
+
+let test_variate_categorical () =
+  let rng = Rng.create 30 in
+  for _ = 1 to 1000 do
+    let i = Variate.categorical rng ~weights:[| 0.0; 1.0; 0.0 |] in
+    Alcotest.(check int) "zero weights never drawn" 1 i
+  done;
+  let counts = Array.make 2 0 in
+  for _ = 1 to 20_000 do
+    let i = Variate.categorical rng ~weights:[| 3.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close ~eps:0.03 "weight proportions" 0.75 (Float.of_int counts.(0) /. 20_000.0);
+  Alcotest.check_raises "empty weights" (Invalid_argument "Variate.categorical: empty weights")
+    (fun () -> ignore (Variate.categorical rng ~weights:[||]))
+
+let test_variate_truncated () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 1000 do
+    let x = Variate.truncated ~lo:0.4 ~hi:0.6 (fun () -> Rng.float rng) in
+    if not (x >= 0.4 && x <= 0.6) then Alcotest.fail "truncated out of bounds"
+  done;
+  (* An impossible-to-hit band gets clamped rather than looping forever. *)
+  let x = Variate.truncated ~lo:5.0 ~hi:6.0 (fun () -> 0.0) in
+  check_float "clamps after bounded attempts" 5.0 x
+
+let test_variate_spec_means () =
+  let rng = Rng.create 32 in
+  let specs =
+    [
+      Variate.Constant 2.5;
+      Variate.Uniform { lo = 1.0; hi = 3.0 };
+      Variate.Exponential { rate = 0.5 };
+      Variate.Gamma { shape = 2.0; scale = 1.5 };
+      Variate.Normal { mean = 4.0; stddev = 1.0 };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let expected = Variate.mean_of_spec spec in
+      let measured = sample_mean 60_000 (fun () -> Variate.sample rng spec) in
+      check_close
+        ~eps:(0.05 *. Float.max 1.0 expected)
+        (Format.asprintf "sampled mean of %a" Variate.pp_spec spec)
+        expected measured)
+    specs
+
+let test_variate_pareto_infinite_mean () =
+  check_float "Pareto shape<=1 has infinite mean" infinity
+    (Variate.mean_of_spec (Variate.Pareto { shape = 1.0; scale = 2.0 }))
+
+let test_variate_weibull_mean_formula () =
+  (* Weibull with shape 1 is Exp(1/scale): mean = scale. *)
+  check_close ~eps:1e-6 "Weibull shape=1 mean = scale" 3.0
+    (Variate.mean_of_spec (Variate.Weibull { shape = 1.0; scale = 3.0 }))
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_welford_matches_batch =
+  qtest "Welford mean/variance match batch formulas"
+    QCheck2.Gen.(array_size (int_range 2 100) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let acc = Stats.Welford.create () in
+      Array.iter (Stats.Welford.add acc) xs;
+      let close a b =
+        let scale = Float.max 1.0 (Float.abs a) in
+        Float.abs (a -. b) < 1e-6 *. scale
+      in
+      close (Stats.mean xs) (Stats.Welford.mean acc)
+      && close (Stats.variance xs) (Stats.Welford.variance acc))
+
+let test_welford_merge =
+  qtest "Welford merge equals single-stream accumulation"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 50) (float_range (-100.0) 100.0))
+        (array_size (int_range 1 50) (float_range (-100.0) 100.0)))
+    (fun (xs, ys) ->
+      let a = Stats.Welford.create () and b = Stats.Welford.create () in
+      Array.iter (Stats.Welford.add a) xs;
+      Array.iter (Stats.Welford.add b) ys;
+      let merged = Stats.Welford.merge a b in
+      let whole = Stats.Welford.create () in
+      Array.iter (Stats.Welford.add whole) (Array.append xs ys);
+      Stats.Welford.count merged = Stats.Welford.count whole
+      && Float.abs (Stats.Welford.mean merged -. Stats.Welford.mean whole) < 1e-6
+      && Float.abs (Stats.Welford.min merged -. Stats.Welford.min whole) < 1e-12
+      && Float.abs (Stats.Welford.max merged -. Stats.Welford.max whole) < 1e-12)
+
+let test_welford_empty () =
+  let acc = Stats.Welford.create () in
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.Welford.mean acc));
+  Alcotest.(check int) "empty count" 0 (Stats.Welford.count acc)
+
+let test_quantile_known () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median of 1..5" 3.0 (Stats.median xs);
+  check_float "q0 is min" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1 is max" 5.0 (Stats.quantile xs 1.0);
+  check_float "q0.25 interpolates" 2.0 (Stats.quantile xs 0.25);
+  check_float "q0.125 interpolates between order stats" 1.5 (Stats.quantile xs 0.125)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "empty array" (Invalid_argument "Stats.quantile: empty array") (fun () ->
+      ignore (Stats.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5))
+
+let test_quantile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.median xs);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] xs
+
+let test_confidence95 () =
+  let samples = [| 2.0; 4.0; 6.0; 8.0 |] in
+  let mean, half = Stats.confidence95 samples in
+  check_float "mean" 5.0 mean;
+  check_close ~eps:1e-6 "half width 1.96 s/sqrt n" (1.96 *. Stats.stddev samples /. 2.0) half;
+  let _, half1 = Stats.confidence95 [| 42.0 |] in
+  check_float "n=1 has zero width" 0.0 half1
+
+let test_mae_rmse () =
+  check_float "mae" 1.0 (Stats.mae [| 1.0; 2.0; 3.0 |] [| 2.0; 1.0; 4.0 |]);
+  check_float "rmse" 1.0 (Stats.rmse [| 1.0; 2.0; 3.0 |] [| 2.0; 1.0; 4.0 |]);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Stats.mae: length mismatch")
+    (fun () -> ignore (Stats.mae [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 15.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "total" 6 (Stats.Histogram.count h);
+  Alcotest.(check int) "bin 0 (incl. saturated low)" 2 counts.(0);
+  Alcotest.(check int) "bin 1" 2 counts.(1);
+  Alcotest.(check int) "bin 9 (incl. saturated high)" 2 counts.(9);
+  check_float "bin midpoint" 0.5 (Stats.Histogram.bin_mid h 0);
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" Stats.Histogram.pp h) > 0)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins 0" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Stats.Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+(* ------------------------------------------------------------- Forecast *)
+
+let feed forecaster values = List.iter (Forecast.observe forecaster) values
+
+let test_forecast_last_value () =
+  let f = Forecast.last_value ~fallback:0.7 () in
+  check_float "fallback before data" 0.7 (Forecast.predict f);
+  feed f [ 1.0; 2.0; 5.0 ];
+  check_float "predicts last" 5.0 (Forecast.predict f)
+
+let test_forecast_running_mean () =
+  let f = Forecast.running_mean () in
+  feed f [ 2.0; 4.0; 6.0 ];
+  check_float "predicts mean" 4.0 (Forecast.predict f)
+
+let test_forecast_sliding_mean () =
+  let f = Forecast.sliding_mean ~window:3 () in
+  feed f [ 100.0; 1.0; 2.0; 3.0 ];
+  check_float "window drops the old value" 2.0 (Forecast.predict f)
+
+let test_forecast_sliding_median_robust () =
+  let f = Forecast.sliding_median ~window:5 () in
+  feed f [ 1.0; 1.0; 1.0; 1.0; 100.0 ];
+  check_float "median shrugs off the spike" 1.0 (Forecast.predict f)
+
+let test_forecast_ewma_formula () =
+  let f = Forecast.ewma ~gain:0.5 () in
+  feed f [ 10.0 ];
+  check_float "initializes at first value" 10.0 (Forecast.predict f);
+  feed f [ 20.0 ];
+  check_float "ewma update" 15.0 (Forecast.predict f);
+  feed f [ 20.0 ];
+  check_float "ewma update again" 17.5 (Forecast.predict f)
+
+let test_forecast_ewma_invalid () =
+  Alcotest.check_raises "gain 0 rejected" (Invalid_argument "Forecast.ewma: gain must be in (0,1]")
+    (fun () -> ignore (Forecast.ewma ~gain:0.0 ()))
+
+let test_forecast_error_tracking () =
+  let f = Forecast.last_value () in
+  Alcotest.(check bool) "mse nan before enough data" true (Float.is_nan (Forecast.mse f));
+  feed f [ 1.0; 2.0; 2.0 ];
+  (* errors: |1-2| then |2-2| -> mse (1+0)/2 *)
+  check_float "mse" 0.5 (Forecast.mse f);
+  check_float "mae" 0.5 (Forecast.mae f)
+
+let test_forecast_adaptive_constant_signal () =
+  let f = Forecast.adaptive () in
+  feed f (List.init 50 (fun _ -> 0.42));
+  check_close ~eps:1e-9 "constant signal learned exactly" 0.42 (Forecast.predict f);
+  Alcotest.(check bool) "members exposed" true (List.length (Forecast.members f) >= 10)
+
+let test_forecast_adaptive_tracks_step () =
+  let f = Forecast.adaptive () in
+  let last = Forecast.last_value () in
+  let signal = List.init 40 (fun i -> if i < 20 then 0.9 else 0.2) in
+  List.iter
+    (fun v ->
+      Forecast.observe f v;
+      Forecast.observe last v)
+    signal;
+  Alcotest.(check bool) "ensemble no worse than 2x the best primitive here" true
+    (Forecast.mae f <= (2.0 *. Forecast.mae last) +. 1e-9)
+
+let test_forecast_window_invalid () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Forecast: window must be positive")
+    (fun () -> ignore (Forecast.sliding_mean ~window:0 ()))
+
+
+let test_forecast_trend_extrapolates () =
+  let f = Forecast.trend ~gain:0.5 () in
+  (* A steady ramp: the trend forecaster should predict ahead of the last
+     value, the plain last-value forecaster always lags by one step. *)
+  let last = Forecast.last_value () in
+  List.iter
+    (fun v ->
+      Forecast.observe f v;
+      Forecast.observe last v)
+    (List.init 30 (fun i -> Float.of_int i /. 10.0));
+  Alcotest.(check bool) "trend beats last value on a ramp" true
+    (Forecast.mae f < Forecast.mae last)
+
+let test_forecast_ar1_fits_autoregression () =
+  (* x_t = 0.5 x_{t-1} + 1, from x_0 = 0: converges to 2. AR(1) should learn
+     the recurrence almost exactly. *)
+  let f = Forecast.ar1 () in
+  let x = ref 0.0 in
+  for _ = 1 to 60 do
+    Forecast.observe f !x;
+    x := (0.5 *. !x) +. 1.0
+  done;
+  let predicted = Forecast.predict f in
+  let expected = (0.5 *. 2.0) +. 1.0 in
+  check_close ~eps:0.01 "ar1 one-step prediction" expected predicted
+
+let test_forecast_ar1_before_fit () =
+  let f = Forecast.ar1 ~fallback:0.3 () in
+  check_float "fallback before data" 0.3 (Forecast.predict f);
+  Forecast.observe f 0.9;
+  check_float "last value until identifiable" 0.9 (Forecast.predict f)
+
+(* ---------------------------------------------------------------- Csvio *)
+
+module Csvio = Aspipe_util.Csvio
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain untouched" "abc" (Csvio.escape_field "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Csvio.escape_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csvio.escape_field "a\"b")
+
+let test_csv_encode () =
+  Alcotest.(check string) "rows joined" "a,b\n1,\"x,y\"\n"
+    (Csvio.encode_rows [ [ "a"; "b" ]; [ "1"; "x,y" ] ])
+
+let test_csv_table_roundtrip () =
+  let table = Render.Table.create ~title:"t" ~columns:[ "c1"; "c2" ] in
+  Render.Table.add_row table [ "v1"; "v2" ];
+  Alcotest.(check (list (list string))) "header + rows" [ [ "c1"; "c2" ]; [ "v1"; "v2" ] ]
+    (Csvio.table_rows table)
+
+let test_csv_series_rows () =
+  let rows = Csvio.series_rows [ Render.Series.make "s" [| (1.0, 2.0) |] ] in
+  Alcotest.(check (list (list string))) "long format" [ [ "series"; "x"; "y" ]; [ "s"; "1"; "2" ] ]
+    rows
+
+let test_csv_save_files () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "aspipe_csv_test" in
+  let table = Render.Table.create ~title:"t" ~columns:[ "a" ] in
+  Render.Table.add_row table [ "1" ];
+  let path = Csvio.save_table ~dir ~basename:"demo" table in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header written" "a" line
+
+(* ----------------------------------------------------------- Timeseries *)
+
+let test_timeseries_eval () =
+  let ts = Timeseries.of_points ~initial:1.0 [ (10.0, 2.0); (20.0, 3.0) ] in
+  check_float "before first point" 1.0 (Timeseries.value_at ts 5.0);
+  check_float "at a point" 2.0 (Timeseries.value_at ts 10.0);
+  check_float "between points" 2.0 (Timeseries.value_at ts 15.0);
+  check_float "after last" 3.0 (Timeseries.value_at ts 25.0)
+
+let test_timeseries_append_only () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts 5.0 1.0;
+  Alcotest.check_raises "past insert rejected"
+    (Invalid_argument "Timeseries.add: time must be non-decreasing") (fun () ->
+      Timeseries.add ts 4.0 2.0)
+
+let test_timeseries_same_instant_overwrites () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts 5.0 1.0;
+  Timeseries.add ts 5.0 9.0;
+  check_float "same-time update supersedes" 9.0 (Timeseries.value_at ts 5.0);
+  Alcotest.(check int) "one point kept" 1 (List.length (Timeseries.points ts))
+
+let test_timeseries_integrate () =
+  let ts = Timeseries.of_points ~initial:0.0 [ (0.0, 2.0); (10.0, 4.0) ] in
+  check_float "integral over constant piece" 20.0 (Timeseries.integrate ts ~lo:0.0 ~hi:10.0);
+  check_float "integral across a breakpoint" 18.0 (Timeseries.integrate ts ~lo:5.0 ~hi:12.0);
+  check_float "empty window" 0.0 (Timeseries.integrate ts ~lo:3.0 ~hi:3.0);
+  check_float "mean over window" 2.0 (Timeseries.mean_over ts ~lo:0.0 ~hi:10.0)
+
+let test_timeseries_integrate_matches_samples =
+  qtest ~count:100 "integrate agrees with fine Riemann sampling"
+    QCheck2.Gen.(list_size (int_range 1 10) (pair (float_range 0.0 100.0) (float_range 0.0 5.0)))
+    (fun points ->
+      let dedup = List.sort_uniq (fun (a, _) (b, _) -> Float.compare a b) points in
+      let ts = Timeseries.of_points ~initial:1.0 dedup in
+      let lo = 0.0 and hi = 110.0 in
+      let exact = Timeseries.integrate ts ~lo ~hi in
+      let step = 0.01 in
+      let samples = Timeseries.sample ts ~lo ~hi:(hi -. step) ~step in
+      let riemann = Array.fold_left (fun acc (_, v) -> acc +. (v *. step)) 0.0 samples in
+      Float.abs (exact -. riemann) < 0.5)
+
+let test_timeseries_duplicate_points () =
+  Alcotest.check_raises "duplicate timestamps rejected"
+    (Invalid_argument "Timeseries.of_points: duplicate timestamp") (fun () ->
+      ignore (Timeseries.of_points [ (1.0, 2.0); (1.0, 3.0) ]))
+
+let test_timeseries_sample_grid () =
+  let ts = Timeseries.of_points ~initial:0.0 [ (0.0, 1.0) ] in
+  let samples = Timeseries.sample ts ~lo:0.0 ~hi:1.0 ~step:0.25 in
+  Alcotest.(check int) "5 samples over [0,1] at 0.25" 5 (Array.length samples);
+  check_float "first sample x" 0.0 (fst samples.(0));
+  check_float "last sample x" 1.0 (fst samples.(4))
+
+(* --------------------------------------------------------------- Render *)
+
+let test_table_render () =
+  let table = Render.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Render.Table.add_row table [ "x"; "y" ];
+  Render.Table.add_float_row table ("z", [ 1.5 ]);
+  let s = Render.Table.to_string table in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (string_contains s needle))
+    [ "demo"; "x"; "y"; "1.5" ]
+
+let test_table_row_width () =
+  let table = Render.Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "row width mismatch" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Render.Table.add_row table [ "only-one" ])
+
+let test_plot () =
+  let series = [ Render.Series.make "s" [| (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) |] ] in
+  let s = Render.plot series in
+  Alcotest.(check bool) "plot non-empty" true (String.length s > 100);
+  Alcotest.(check string) "empty plot" "(empty plot)\n" (Render.plot [])
+
+let () =
+  Alcotest.run "aspipe_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split divergence" `Quick test_rng_split_diverges;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Slow test_rng_float_mean;
+          test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          test_rng_shuffle_permutes;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "variate",
+        [
+          Alcotest.test_case "exponential mean" `Slow test_variate_exponential_mean;
+          Alcotest.test_case "exponential invalid" `Quick test_variate_exponential_invalid;
+          Alcotest.test_case "normal moments" `Slow test_variate_normal_moments;
+          Alcotest.test_case "lognormal mean" `Slow test_variate_lognormal_mean;
+          Alcotest.test_case "gamma mean" `Slow test_variate_gamma_mean;
+          Alcotest.test_case "gamma small shape" `Slow test_variate_gamma_small_shape;
+          Alcotest.test_case "erlang mean" `Slow test_variate_erlang_mean;
+          Alcotest.test_case "pareto support" `Quick test_variate_pareto_support;
+          Alcotest.test_case "weibull positive" `Quick test_variate_weibull_positive;
+          Alcotest.test_case "bernoulli extremes" `Quick test_variate_bernoulli_extremes;
+          Alcotest.test_case "categorical" `Quick test_variate_categorical;
+          Alcotest.test_case "truncated" `Quick test_variate_truncated;
+          Alcotest.test_case "spec means" `Slow test_variate_spec_means;
+          Alcotest.test_case "pareto infinite mean" `Quick test_variate_pareto_infinite_mean;
+          Alcotest.test_case "weibull mean formula" `Quick test_variate_weibull_mean_formula;
+        ] );
+      ( "stats",
+        [
+          test_welford_matches_batch;
+          test_welford_merge;
+          Alcotest.test_case "welford empty" `Quick test_welford_empty;
+          Alcotest.test_case "quantile known" `Quick test_quantile_known;
+          Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+          Alcotest.test_case "quantile pure" `Quick test_quantile_does_not_mutate;
+          Alcotest.test_case "confidence95" `Quick test_confidence95;
+          Alcotest.test_case "mae rmse" `Quick test_mae_rmse;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+        ] );
+      ( "forecast",
+        [
+          Alcotest.test_case "last value" `Quick test_forecast_last_value;
+          Alcotest.test_case "running mean" `Quick test_forecast_running_mean;
+          Alcotest.test_case "sliding mean" `Quick test_forecast_sliding_mean;
+          Alcotest.test_case "sliding median" `Quick test_forecast_sliding_median_robust;
+          Alcotest.test_case "ewma formula" `Quick test_forecast_ewma_formula;
+          Alcotest.test_case "ewma invalid" `Quick test_forecast_ewma_invalid;
+          Alcotest.test_case "error tracking" `Quick test_forecast_error_tracking;
+          Alcotest.test_case "adaptive constant" `Quick test_forecast_adaptive_constant_signal;
+          Alcotest.test_case "adaptive step" `Quick test_forecast_adaptive_tracks_step;
+          Alcotest.test_case "window invalid" `Quick test_forecast_window_invalid;
+          Alcotest.test_case "trend extrapolates" `Quick test_forecast_trend_extrapolates;
+          Alcotest.test_case "ar1 fit" `Quick test_forecast_ar1_fits_autoregression;
+          Alcotest.test_case "ar1 fallback" `Quick test_forecast_ar1_before_fit;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "encode" `Quick test_csv_encode;
+          Alcotest.test_case "table rows" `Quick test_csv_table_roundtrip;
+          Alcotest.test_case "series rows" `Quick test_csv_series_rows;
+          Alcotest.test_case "save files" `Quick test_csv_save_files;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "piecewise eval" `Quick test_timeseries_eval;
+          Alcotest.test_case "append only" `Quick test_timeseries_append_only;
+          Alcotest.test_case "same instant" `Quick test_timeseries_same_instant_overwrites;
+          Alcotest.test_case "integrate" `Quick test_timeseries_integrate;
+          test_timeseries_integrate_matches_samples;
+          Alcotest.test_case "duplicates" `Quick test_timeseries_duplicate_points;
+          Alcotest.test_case "sample grid" `Quick test_timeseries_sample_grid;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "row width" `Quick test_table_row_width;
+          Alcotest.test_case "plot" `Quick test_plot;
+        ] );
+    ]

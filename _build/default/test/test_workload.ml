@@ -1,0 +1,304 @@
+(* Tests for the workload library: synthetic stage families and the three
+   real application kernels (image, numeric, text). *)
+
+module Rng = Aspipe_util.Rng
+module Stage = Aspipe_skel.Stage
+module Pipe = Aspipe_skel.Pipe
+module Synthetic = Aspipe_workload.Synthetic
+module Image = Aspipe_workload.Image
+module Numeric = Aspipe_workload.Numeric
+module Textproc = Aspipe_workload.Textproc
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let total_work stages = Array.fold_left (fun acc s -> acc +. Stage.mean_work s) 0.0 stages
+
+(* ------------------------------------------------------------ Synthetic *)
+
+let test_synth_balanced () =
+  let stages = Synthetic.balanced ~n:5 ~work:2.0 () in
+  Alcotest.(check int) "count" 5 (Array.length stages);
+  check_float "total work" 10.0 (total_work stages)
+
+let test_synth_hot_stage () =
+  let stages = Synthetic.hot_stage ~n:5 ~work:1.0 ~factor:4.0 () in
+  check_float "middle stage is hot" 4.0 (Stage.mean_work stages.(2));
+  check_float "others cold" 1.0 (Stage.mean_work stages.(0))
+
+let test_synth_geometric_conserves_work () =
+  let front = Synthetic.front_heavy ~n:6 ~work:1.5 ~ratio:4.0 () in
+  check_close ~eps:1e-9 "front-heavy total preserved" 9.0 (total_work front);
+  Alcotest.(check bool) "front heavier than back" true
+    (Stage.mean_work front.(0) > Stage.mean_work front.(5));
+  let back = Synthetic.back_heavy ~n:6 ~work:1.5 ~ratio:4.0 () in
+  check_close ~eps:1e-9 "back-heavy total preserved" 9.0 (total_work back);
+  Alcotest.(check bool) "back heavier than front" true
+    (Stage.mean_work back.(5) > Stage.mean_work back.(0));
+  check_close ~eps:1e-9 "end ratio respected" 4.0
+    (Stage.mean_work front.(0) /. Stage.mean_work front.(5))
+
+let test_synth_noisy_mean () =
+  let stages = Synthetic.noisy ~n:3 ~work:2.0 ~cv:0.5 () in
+  Array.iter (fun s -> check_close ~eps:1e-9 "gamma mean preserved" 2.0 (Stage.mean_work s)) stages
+
+let test_synth_comm_heavy () =
+  let stages = Synthetic.comm_heavy ~n:3 ~bytes:5e6 () in
+  Array.iter
+    (fun (s : Stage.t) -> check_float "payload set" 5e6 s.Stage.output_bytes)
+    stages
+
+let test_synth_random_positive () =
+  let stages = Synthetic.random (Rng.create 3) ~n:8 ~mean_work:1.0 () in
+  Array.iter
+    (fun s ->
+      let w = Stage.mean_work s in
+      Alcotest.(check bool) "positive, within the log-uniform band" true (w > 0.2 && w < 5.0))
+    stages
+
+(* ---------------------------------------------------------------- Image *)
+
+let test_image_create_get () =
+  let img = Image.create ~width:4 ~height:3 ~f:(fun ~x ~y -> Float.of_int ((y * 4) + x) /. 12.0) in
+  check_float "interior pixel" (5.0 /. 12.0) (Image.get img ~x:1 ~y:1);
+  check_float "clamped left" (Image.get img ~x:0 ~y:1) (Image.get img ~x:(-3) ~y:1);
+  check_float "clamped bottom" (Image.get img ~x:2 ~y:2) (Image.get img ~x:2 ~y:99)
+
+let test_image_blur_constant_fixpoint () =
+  let img = Image.constant ~width:16 ~height:16 0.7 in
+  let blurred = Image.gaussian_blur ~radius:3 img in
+  Alcotest.(check bool) "same dims" true (Image.dimensions_equal img blurred);
+  check_close ~eps:1e-9 "constant image unchanged by blur" 0.7 (Image.get blurred ~x:8 ~y:8)
+
+let test_image_blur_smooths () =
+  let rng = Rng.create 4 in
+  let img = Image.random rng ~width:32 ~height:32 in
+  let blurred = Image.gaussian_blur ~radius:2 img in
+  (* Blur preserves the mean (up to border effects) and reduces variance. *)
+  check_close ~eps:0.05 "mean preserved" (Image.mean img) (Image.mean blurred);
+  let variance image =
+    let m = Image.mean image in
+    let acc = ref 0.0 in
+    for y = 0 to 31 do
+      for x = 0 to 31 do
+        let d = Image.get image ~x ~y -. m in
+        acc := !acc +. (d *. d)
+      done
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "variance reduced" true (variance blurred < 0.5 *. variance img)
+
+let test_image_sobel_flat_is_zero () =
+  let img = Image.constant ~width:8 ~height:8 0.5 in
+  let edges = Image.sobel img in
+  check_float "no gradient on a flat image" 0.0 (Image.get edges ~x:4 ~y:4)
+
+let test_image_sobel_detects_edge () =
+  let img = Image.create ~width:16 ~height:16 ~f:(fun ~x ~y:_ -> if x < 8 then 0.0 else 1.0) in
+  let edges = Image.sobel img in
+  Alcotest.(check bool) "strong response at the edge" true (Image.get edges ~x:8 ~y:8 > 0.5);
+  check_float "no response far from the edge" 0.0 (Image.get edges ~x:2 ~y:8)
+
+let test_image_threshold_binary () =
+  let rng = Rng.create 5 in
+  let img = Image.random rng ~width:16 ~height:16 in
+  let bw = Image.threshold ~level:0.5 img in
+  Array.iter
+    (fun p -> if p <> 0.0 && p <> 1.0 then Alcotest.fail "threshold output must be binary")
+    bw.Image.pixels
+
+let test_image_invert_involution () =
+  let rng = Rng.create 6 in
+  let img = Image.random rng ~width:8 ~height:8 in
+  let twice = Image.invert (Image.invert img) in
+  Array.iteri
+    (fun i p ->
+      if Float.abs (p -. img.Image.pixels.(i)) > 1e-12 then
+        Alcotest.fail "invert must be an involution")
+    twice.Image.pixels
+
+let test_image_normalize_range () =
+  let img = Image.create ~width:8 ~height:8 ~f:(fun ~x ~y -> 0.3 +. (0.001 *. Float.of_int (x + y))) in
+  let n = Image.normalize img in
+  let lo = Array.fold_left Float.min infinity n.Image.pixels in
+  let hi = Array.fold_left Float.max neg_infinity n.Image.pixels in
+  check_close ~eps:1e-9 "min stretched to 0" 0.0 lo;
+  check_close ~eps:1e-9 "max stretched to 1" 1.0 hi;
+  (* Flat images are left alone rather than divided by ~0. *)
+  let flat = Image.constant ~width:4 ~height:4 0.5 in
+  check_float "flat unchanged" 0.5 (Image.get (Image.normalize flat) ~x:1 ~y:1)
+
+let test_image_checksum_sensitivity () =
+  let rng = Rng.create 7 in
+  let a = Image.random rng ~width:8 ~height:8 in
+  let b = Image.random rng ~width:8 ~height:8 in
+  Alcotest.(check bool) "different images, different digests" true
+    (Image.checksum a <> Image.checksum b);
+  check_float "digest deterministic" (Image.checksum a) (Image.checksum a)
+
+let test_image_standard_chain () =
+  let rng = Rng.create 8 in
+  let img = Image.random rng ~width:24 ~height:24 in
+  let chain = Image.standard_chain ~blur_radius:2 in
+  Alcotest.(check int) "five stages" 5 (Pipe.length chain);
+  let out = Pipe.apply chain img in
+  Alcotest.(check bool) "output dims preserved" true (Image.dimensions_equal img out);
+  Array.iter
+    (fun p -> if p <> 0.0 && p <> 1.0 then Alcotest.fail "chain ends with a binary image")
+    out.Image.pixels
+
+let test_image_validation () =
+  Alcotest.check_raises "empty image" (Invalid_argument "Image.create: empty image") (fun () ->
+      ignore (Image.constant ~width:0 ~height:4 0.0));
+  Alcotest.check_raises "blur radius" (Invalid_argument "Image.gaussian_blur: radius must be >= 1")
+    (fun () -> ignore (Image.gaussian_blur ~radius:0 (Image.constant ~width:2 ~height:2 0.0)))
+
+(* -------------------------------------------------------------- Numeric *)
+
+let test_numeric_identity_multiply () =
+  let rng = Rng.create 9 in
+  let a = Numeric.random rng 6 in
+  let i = Numeric.identity 6 in
+  check_close ~eps:1e-12 "A x I = A" 0.0 (Numeric.max_abs_diff (Numeric.multiply a i) a);
+  check_close ~eps:1e-12 "I x A = A" 0.0 (Numeric.max_abs_diff (Numeric.multiply i a) a)
+
+let test_numeric_multiply_associative () =
+  let rng = Rng.create 10 in
+  let a = Numeric.random rng 5 and b = Numeric.random rng 5 and c = Numeric.random rng 5 in
+  let left = Numeric.multiply (Numeric.multiply a b) c in
+  let right = Numeric.multiply a (Numeric.multiply b c) in
+  Alcotest.(check bool) "associative up to float error" true
+    (Numeric.max_abs_diff left right < 1e-10)
+
+let test_numeric_add_scale () =
+  let rng = Rng.create 11 in
+  let a = Numeric.random rng 4 in
+  let doubled = Numeric.add a a in
+  check_close ~eps:1e-12 "A + A = 2A" 0.0 (Numeric.max_abs_diff doubled (Numeric.scale 2.0 a))
+
+let test_numeric_transpose_involution () =
+  let rng = Rng.create 12 in
+  let a = Numeric.random rng 7 in
+  check_close ~eps:1e-15 "transpose twice" 0.0
+    (Numeric.max_abs_diff (Numeric.transpose (Numeric.transpose a)) a)
+
+let test_numeric_jacobi () =
+  let flat = Numeric.create 6 ~f:(fun ~row:_ ~col:_ -> 0.5) in
+  check_close ~eps:1e-15 "constant is a fixpoint" 0.0
+    (Numeric.max_abs_diff (Numeric.jacobi_sweep flat) flat);
+  let rng = Rng.create 13 in
+  let a = Numeric.random rng 6 in
+  let smoothed = Numeric.jacobi_sweep a in
+  (* Borders held fixed. *)
+  check_float "border preserved" (Numeric.get a ~row:0 ~col:3) (Numeric.get smoothed ~row:0 ~col:3);
+  check_float "corner preserved" (Numeric.get a ~row:5 ~col:5) (Numeric.get smoothed ~row:5 ~col:5)
+
+let test_numeric_frobenius () =
+  let m = Numeric.create 2 ~f:(fun ~row ~col -> if row = col then 3.0 else 4.0) in
+  check_close ~eps:1e-12 "sqrt(9+16+16+9)" (sqrt 50.0) (Numeric.frobenius m)
+
+let test_numeric_refinement_chain () =
+  let rng = Rng.create 14 in
+  let a = Numeric.random rng 8 in
+  let chain = Numeric.refinement_chain ~iterations:3 in
+  Alcotest.(check int) "3 sweeps + normalize" 4 (Pipe.length chain);
+  let out = Pipe.apply chain a in
+  check_close ~eps:1e-9 "normalized output" 1.0 (Numeric.frobenius out)
+
+let test_numeric_validation () =
+  Alcotest.check_raises "dimension mismatch" (Invalid_argument "Numeric.multiply: dimension mismatch")
+    (fun () -> ignore (Numeric.multiply (Numeric.identity 2) (Numeric.identity 3)));
+  Alcotest.check_raises "size 0" (Invalid_argument "Numeric.create: size must be positive")
+    (fun () -> ignore (Numeric.identity 0))
+
+(* ------------------------------------------------------------- Textproc *)
+
+let test_text_tokenize () =
+  Alcotest.(check (list string)) "splits and lowercases" [ "the"; "grid"; "is"; "busy" ]
+    (Textproc.tokenize "The GRID, is\tbusy!");
+  Alcotest.(check (list string)) "empty input" [] (Textproc.tokenize "  ...  ")
+
+let test_text_fingerprint () =
+  let a = Textproc.fingerprint [ "a"; "b" ] in
+  Alcotest.(check int) "deterministic" a (Textproc.fingerprint [ "a"; "b" ]);
+  Alcotest.(check bool) "order sensitive" true (a <> Textproc.fingerprint [ "b"; "a" ])
+
+let test_text_rle_roundtrip =
+  qtest "rle decode . encode = id"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 0 200))
+    (fun s -> Textproc.rle_decode (Textproc.rle_encode s) = s)
+
+let test_text_rle_known () =
+  Alcotest.(check (list (pair char int))) "runs" [ ('a', 3); ('b', 1); ('a', 2) ]
+    (Textproc.rle_encode "aaabaa");
+  Alcotest.check_raises "bad run" (Invalid_argument "Textproc.rle_decode: non-positive run length")
+    (fun () -> ignore (Textproc.rle_decode [ ('a', 0) ]))
+
+let test_text_word_count () =
+  Alcotest.(check (list (pair string int))) "sorted by count then word"
+    [ ("b", 2); ("a", 1); ("c", 1) ]
+    (Textproc.word_count "b a b c")
+
+let test_text_random_document () =
+  let doc = Textproc.random_document (Rng.create 15) ~words:200 in
+  Alcotest.(check int) "requested word count" 200 (List.length (Textproc.tokenize doc))
+
+let test_text_analysis_chain () =
+  let chain = Textproc.analysis_chain () in
+  Alcotest.(check int) "three stages" 3 (Pipe.length chain);
+  let fp = Pipe.apply chain "grids grids pipelines" in
+  (* cleanup de-pluralizes, so "grids" and "grid" agree. *)
+  Alcotest.(check int) "stemmed equivalence" fp (Pipe.apply chain "grid grid pipeline")
+
+let () =
+  Alcotest.run "aspipe_workload"
+    [
+      ( "synthetic",
+        [
+          Alcotest.test_case "balanced" `Quick test_synth_balanced;
+          Alcotest.test_case "hot stage" `Quick test_synth_hot_stage;
+          Alcotest.test_case "geometric conserves work" `Quick test_synth_geometric_conserves_work;
+          Alcotest.test_case "noisy mean" `Quick test_synth_noisy_mean;
+          Alcotest.test_case "comm heavy" `Quick test_synth_comm_heavy;
+          Alcotest.test_case "random positive" `Quick test_synth_random_positive;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "create/get" `Quick test_image_create_get;
+          Alcotest.test_case "blur fixpoint" `Quick test_image_blur_constant_fixpoint;
+          Alcotest.test_case "blur smooths" `Quick test_image_blur_smooths;
+          Alcotest.test_case "sobel flat" `Quick test_image_sobel_flat_is_zero;
+          Alcotest.test_case "sobel edge" `Quick test_image_sobel_detects_edge;
+          Alcotest.test_case "threshold binary" `Quick test_image_threshold_binary;
+          Alcotest.test_case "invert involution" `Quick test_image_invert_involution;
+          Alcotest.test_case "normalize range" `Quick test_image_normalize_range;
+          Alcotest.test_case "checksum" `Quick test_image_checksum_sensitivity;
+          Alcotest.test_case "standard chain" `Quick test_image_standard_chain;
+          Alcotest.test_case "validation" `Quick test_image_validation;
+        ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "identity multiply" `Quick test_numeric_identity_multiply;
+          Alcotest.test_case "associativity" `Quick test_numeric_multiply_associative;
+          Alcotest.test_case "add/scale" `Quick test_numeric_add_scale;
+          Alcotest.test_case "transpose involution" `Quick test_numeric_transpose_involution;
+          Alcotest.test_case "jacobi" `Quick test_numeric_jacobi;
+          Alcotest.test_case "frobenius" `Quick test_numeric_frobenius;
+          Alcotest.test_case "refinement chain" `Quick test_numeric_refinement_chain;
+          Alcotest.test_case "validation" `Quick test_numeric_validation;
+        ] );
+      ( "textproc",
+        [
+          Alcotest.test_case "tokenize" `Quick test_text_tokenize;
+          Alcotest.test_case "fingerprint" `Quick test_text_fingerprint;
+          test_text_rle_roundtrip;
+          Alcotest.test_case "rle known" `Quick test_text_rle_known;
+          Alcotest.test_case "word count" `Quick test_text_word_count;
+          Alcotest.test_case "random document" `Quick test_text_random_document;
+          Alcotest.test_case "analysis chain" `Quick test_text_analysis_chain;
+        ] );
+    ]
