@@ -60,6 +60,16 @@ let micro_tests () =
              done;
              let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
              drain ()));
+      Test.make ~name:"bus-emit-1k-observed"
+        (Staged.stage (fun () ->
+             (* Cost of the telemetry hot path: one subscribed sink, 1000
+                emissions. Bounds the overhead every instrumented run pays. *)
+             let bus = Aspipe_obs.Bus.create () in
+             let seen = ref 0 in
+             ignore (Aspipe_obs.Bus.subscribe bus (fun _ -> incr seen));
+             for i = 0 to 999 do
+               Aspipe_obs.Bus.emit bus (Aspipe_obs.Event.Completion { item = i })
+             done));
       Test.make ~name:"forecast-adaptive-100obs"
         (Staged.stage (fun () ->
              let f = Forecast.adaptive () in
@@ -100,6 +110,32 @@ let run_micro () =
     rows;
   print_newline ()
 
+(* One instrumented adaptive run whose metrics snapshot closes the report:
+   the same registry the CLI's [metrics] subcommand prints, so the bench
+   output doubles as a telemetry regression reference. *)
+let run_metrics_snapshot ~quick =
+  let items = if quick then 150 else 500 in
+  let scenario =
+    Aspipe_core.Scenario.make ~name:"bench-telemetry"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.uniform engine ~n:3 ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+      ~loads:[ (0, Aspipe_grid.Loadgen.Step { at = 30.0; level = 0.2 }) ]
+      ~stages:(Aspipe_workload.Synthetic.hot_stage ~n:4 ~factor:3.0 ())
+      ~input:(Aspipe_skel.Stream_spec.make ~arrival:(Aspipe_skel.Stream_spec.Spaced 0.3) ~items ())
+      ~horizon:1e5 ()
+  in
+  let meter = ref None in
+  ignore
+    (Aspipe_core.Adaptive.run
+       ~instrument:(fun bus -> meter := Some (Aspipe_obs.Meter.attach bus))
+       ~scenario ~seed:7 ());
+  match !meter with
+  | None -> ()
+  | Some meter ->
+      print_endline "######## Telemetry snapshot (adaptive run, seed 7) ########";
+      print_string (Aspipe_obs.Metrics.render (Aspipe_obs.Meter.snapshot meter));
+      print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -124,4 +160,5 @@ let () =
               e.Aspipe_exp.Registry.run ~quick
           | None -> Printf.eprintf "unknown experiment id: %s\n" id)
         ids);
-  if not skip_micro then run_micro ()
+  if not skip_micro then run_micro ();
+  run_metrics_snapshot ~quick

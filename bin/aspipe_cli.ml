@@ -4,6 +4,8 @@
      list-experiments        enumerate the reconstructed tables/figures
      experiment <id>         regenerate one (or `all`)
      simulate                run an ad-hoc adaptive-vs-static comparison
+     trace-export            run a scenario and export Perfetto/JSONL telemetry
+     metrics                 run a scenario and print the metrics snapshot
      calibrate               show a calibration pass on a synthetic pipeline
      forecast-demo           NWS-style forecaster accuracy on a step signal *)
 
@@ -19,6 +21,11 @@ module Adaptive = Aspipe_core.Adaptive
 module Baselines = Aspipe_core.Baselines
 module Calibration = Aspipe_core.Calibration
 module Registry = Aspipe_exp.Registry
+module Json = Aspipe_obs.Json
+module Trace_event = Aspipe_obs.Trace_event
+module Jsonl = Aspipe_obs.Jsonl
+module Meter = Aspipe_obs.Meter
+module Metrics = Aspipe_obs.Metrics
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced experiment sizes (same shapes).")
@@ -35,17 +42,34 @@ let seed_arg =
 
 (* ------------------------------------------------------- list-experiments *)
 
-let list_experiments () =
-  List.iter
-    (fun e ->
-      Printf.printf "%-4s %-7s %s\n" e.Registry.id
-        (match e.Registry.kind with Registry.Table -> "table" | Registry.Figure -> "figure")
-        e.Registry.title)
-    Registry.all
+let experiment_kind e =
+  match e.Registry.kind with Registry.Table -> "table" | Registry.Figure -> "figure"
+
+let list_experiments json =
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("id", Json.String e.Registry.id);
+                     ("kind", Json.String (experiment_kind e));
+                     ("title", Json.String e.Registry.title);
+                   ])
+               Registry.all)))
+  else
+    List.iter
+      (fun e -> Printf.printf "%-4s %-7s %s\n" e.Registry.id (experiment_kind e) e.Registry.title)
+      Registry.all
 
 let list_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON array instead of the aligned text.")
+  in
   Cmd.v (Cmd.info "list-experiments" ~doc:"List the reconstructed tables and figures")
-    Term.(const list_experiments $ const ())
+    Term.(const list_experiments $ json)
 
 (* ------------------------------------------------------------- experiment *)
 
@@ -65,8 +89,13 @@ let experiment_cmd =
 
 (* --------------------------------------------------------------- simulate *)
 
-let simulate verbose seed nodes stages items hot step_at summary csv_dir =
-  setup_logs verbose;
+(* Shared ad-hoc scenario of simulate / trace-export / metrics: a uniform
+   grid, an optionally hot middle stage, and a load step on node 0. With
+   [quick], sizes shrink to values under which the default threshold policy
+   still commits at least one adaptation. *)
+let cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at =
+  let items = if quick then min items 150 else items in
+  let step_at = if quick && step_at > 0.0 then Float.min step_at 30.0 else step_at in
   let stage_array =
     if hot > 1.0 then Aspipe_workload.Synthetic.hot_stage ~n:stages ~factor:hot ()
     else Aspipe_workload.Synthetic.balanced ~n:stages ()
@@ -74,16 +103,33 @@ let simulate verbose seed nodes stages items hot step_at summary csv_dir =
   let loads =
     if step_at > 0.0 then [ (0, Loadgen.Step { at = step_at; level = 0.2 }) ] else []
   in
-  let scenario =
-    Scenario.make ~name:"cli"
-      ~make_topo:(fun engine ->
-        Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
-      ~loads ~stages:stage_array
-      ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
-      ~horizon:1e5 ()
+  Scenario.make ~name:"cli"
+    ~make_topo:(fun engine ->
+      Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+    ~loads ~stages:stage_array
+    ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
+    ~horizon:1e5 ()
+
+let scenario_args =
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Grid size.") in
+  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let items = Arg.(value & opt int 500 & info [ "items" ] ~doc:"Input items.") in
+  let hot = Arg.(value & opt float 1.0 & info [ "hot-factor" ] ~doc:"Cost multiplier of the middle stage.") in
+  let step = Arg.(value & opt float 60.0 & info [ "step-at" ] ~doc:"Time of a load step on node 0 (0 = none).") in
+  Term.(const (fun nodes stages items hot step_at -> (nodes, stages, items, hot, step_at))
+        $ nodes $ stages $ items $ hot $ step)
+
+let simulate verbose quick seed (nodes, stages, items, hot, step_at) summary csv_dir trace_out =
+  setup_logs verbose;
+  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let collector = Trace_event.create () in
+  let instrument =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (fun bus -> Trace_event.attach collector bus)
   in
   let static = Baselines.static_model_best ~scenario ~seed () in
-  let adaptive = Adaptive.run ~scenario ~seed () in
+  let adaptive = Adaptive.run ?instrument ~scenario ~seed () in
   Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
     (Aspipe_model.Mapping.to_string static.Baselines.mapping)
     static.Baselines.makespan;
@@ -91,6 +137,18 @@ let simulate verbose seed nodes stages items hot step_at summary csv_dir =
   if summary then
     Aspipe_util.Render.Table.print
       (Aspipe_grid.Trace_stats.summary_table adaptive.Adaptive.trace ~stages);
+  (match trace_out with
+  | None -> ()
+  | Some path -> (
+      try
+        Trace_event.write collector ~path;
+        Printf.printf
+          "wrote Chrome trace-event JSON (%d events) to %s — open in ui.perfetto.dev\n"
+          (Trace_event.events_collected collector)
+          path
+      with Sys_error msg ->
+        Printf.eprintf "aspipe: cannot write trace: %s\n" msg;
+        exit 1));
   match csv_dir with
   | None -> ()
   | Some dir ->
@@ -104,15 +162,89 @@ let simulate verbose seed nodes stages items hot step_at summary csv_dir =
       Printf.printf "wrote %s and %s\n" (Filename.concat dir "gantt.csv") path
 
 let simulate_cmd =
-  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Grid size.") in
-  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
-  let items = Arg.(value & opt int 500 & info [ "items" ] ~doc:"Input items.") in
-  let hot = Arg.(value & opt float 1.0 & info [ "hot-factor" ] ~doc:"Cost multiplier of the middle stage.") in
-  let step = Arg.(value & opt float 60.0 & info [ "step-at" ] ~doc:"Time of a load step on node 0 (0 = none).") in
   let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Print the per-stage trace summary.") in
   let csv = Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Write gantt.csv and stage_summary.csv to DIR.") in
+  let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the adaptive run as Chrome trace-event/Perfetto JSON to FILE.") in
   Cmd.v (Cmd.info "simulate" ~doc:"Ad-hoc adaptive vs static run on a uniform grid")
-    Term.(const simulate $ verbose_arg $ seed_arg $ nodes $ stages $ items $ hot $ step $ summary $ csv)
+    Term.(const simulate $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ summary $ csv $ trace)
+
+(* ----------------------------------------------------------- trace-export *)
+
+let trace_export verbose quick seed (nodes, stages, items, hot, step_at) format out =
+  setup_logs verbose;
+  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let write_out content =
+    match out with
+    | None -> print_string content
+    | Some path -> (
+        try
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc content);
+          Printf.eprintf "wrote %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "aspipe: cannot write %s: %s\n" path msg;
+          exit 1)
+  in
+  match format with
+  | `Perfetto ->
+      let collector = Trace_event.create () in
+      ignore
+        (Adaptive.run ~instrument:(fun bus -> Trace_event.attach collector bus) ~scenario ~seed ());
+      write_out (Trace_event.to_string collector ^ "\n")
+  | `Jsonl ->
+      let buffer = Buffer.create 65536 in
+      ignore
+        (Adaptive.run
+           ~instrument:(fun bus ->
+             ignore (Aspipe_obs.Bus.subscribe bus (Jsonl.sink_to_buffer buffer)))
+           ~scenario ~seed ());
+      write_out (Buffer.contents buffer)
+
+let trace_export_cmd =
+  let format =
+    Arg.(value
+        & opt (enum [ ("perfetto", `Perfetto); ("jsonl", `Jsonl) ]) `Perfetto
+        & info [ "format" ] ~docv:"FMT"
+            ~doc:"Output format: $(b,perfetto) (Chrome trace-event JSON) or $(b,jsonl) (one \
+                  structured event per line).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:"Run the adaptive scenario and export its full event stream")
+    Term.(const trace_export $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ format $ out)
+
+(* ---------------------------------------------------------------- metrics *)
+
+let metrics verbose quick seed (nodes, stages, items, hot, step_at) json =
+  setup_logs verbose;
+  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let meter = ref None in
+  let report =
+    Adaptive.run
+      ~instrument:(fun bus -> meter := Some (Meter.attach bus))
+      ~scenario ~seed ()
+  in
+  match !meter with
+  | None -> assert false
+  | Some meter ->
+      let snapshot = Meter.snapshot meter in
+      if json then print_endline (Json.to_string (Metrics.snapshot_to_json snapshot))
+      else begin
+        Format.printf "%a@." Adaptive.pp_report report;
+        print_string (Metrics.render snapshot)
+      end
+
+let metrics_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run the adaptive scenario and print its metrics-registry snapshot")
+    Term.(const metrics $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ json)
 
 (* ------------------------------------------------------------------ farm *)
 
@@ -242,6 +374,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; experiment_cmd; simulate_cmd; farm_cmd; replicate_cmd; calibrate_cmd;
-            forecast_cmd; export_pepa_cmd;
+            list_cmd; experiment_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; farm_cmd;
+            replicate_cmd; calibrate_cmd; forecast_cmd; export_pepa_cmd;
           ]))

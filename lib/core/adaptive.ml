@@ -55,7 +55,7 @@ type report = {
   monitor_samples : int;
 }
 
-let run ?(config = default_config) ~scenario ~seed () =
+let run ?(config = default_config) ?instrument ~scenario ~seed () =
   let root_rng = Rng.create seed in
   let env_rng = Rng.split root_rng in
   let calib_rng = Rng.split root_rng in
@@ -63,13 +63,17 @@ let run ?(config = default_config) ~scenario ~seed () =
   let monitor_rng = Rng.split root_rng in
   let topo = Scenario.build scenario ~rng:env_rng in
   let engine = Topology.engine topo in
+  let bus = Engine.bus engine in
+  (* Telemetry sinks attach before anything observable happens, so they see
+     the calibration samples and monitor readings behind every decision. *)
+  (match instrument with Some f -> f bus | None -> ());
   let stages = scenario.Scenario.stages in
   let input = scenario.Scenario.input in
   let policy = config.policy () in
 
   (* Phase 1: calibration. *)
   let calibration =
-    Calibration.run ~probes:config.probes ~measurement_noise:config.measurement_noise
+    Calibration.run ~probes:config.probes ~measurement_noise:config.measurement_noise ~bus
       ~rng:calib_rng stages
   in
   let calibrated_work = Calibration.work_vector calibration in
@@ -158,8 +162,18 @@ let run ?(config = default_config) ~scenario ~seed () =
               | Some p -> Predictor.choose ~fix_first_on:p predictor);
         }
       in
+      Aspipe_obs.Bus.emit bus
+        (Aspipe_obs.Event.Adaptation_considered
+           {
+             mapping = Mapping.to_array current;
+             observed_throughput = observed;
+             adopted_throughput = !adopted_throughput;
+           });
       (match Policy.decide policy ctx with
       | Policy.Keep ->
+          Aspipe_obs.Bus.emit bus
+            (Aspipe_obs.Event.Adaptation_rejected
+               { mapping = Mapping.to_array current; observed_throughput = observed });
           Log.debug (fun m ->
               m "[%s] t=%.1f keep %s (observed %.3f, adopted %.3f)" scenario.Scenario.name now
                 (Mapping.to_string current) observed !adopted_throughput)
@@ -168,14 +182,17 @@ let run ?(config = default_config) ~scenario ~seed () =
           let gain = Predictor.evaluate predictor target -. Predictor.evaluate predictor current in
           ignore (Skel_sim.remap sim (Mapping.to_array target));
           incr adaptation_count;
-          Trace.record_adaptation trace
-            {
-              Trace.at = now;
-              mapping_before = Mapping.to_array current;
-              mapping_after = Mapping.to_array target;
-              predicted_gain = gain;
-              migration_cost = stall;
-            };
+          (* The committed event reaches the trace through its bus
+             subscription — the bus, not the trace, is the system of
+             record. *)
+          Aspipe_obs.Bus.emit bus
+            (Aspipe_obs.Event.Adaptation_committed
+               {
+                 mapping_before = Mapping.to_array current;
+                 mapping_after = Mapping.to_array target;
+                 predicted_gain = gain;
+                 migration_cost = stall;
+               });
           adopted_throughput := Predictor.evaluate predictor target;
           Log.info (fun m ->
               m "[%s] t=%.1f remap %s -> %s (gain %.3f items/s, stall %.2f s)"

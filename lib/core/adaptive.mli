@@ -56,8 +56,21 @@ type report = {
   monitor_samples : int;
 }
 
-val run : ?config:config -> scenario:Scenario.t -> seed:int -> unit -> report
+val run :
+  ?config:config ->
+  ?instrument:(Aspipe_obs.Bus.t -> unit) ->
+  scenario:Scenario.t ->
+  seed:int ->
+  unit ->
+  report
 (** Build a fresh environment from the scenario and execute to completion.
-    Deterministic in [(scenario, config, seed)]. *)
+    Deterministic in [(scenario, config, seed)].
+
+    [instrument] is called with the run's event bus before calibration
+    starts, so telemetry sinks (JSONL, Perfetto, metrics meters) can be
+    subscribed and observe the complete run: calibration samples, monitor
+    readings, forecast updates, every service/transfer/completion, and each
+    adaptation decision (considered / committed / rejected). Sinks are pure
+    observers — attaching them never changes the run. *)
 
 val pp_report : Format.formatter -> report -> unit

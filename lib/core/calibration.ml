@@ -7,12 +7,12 @@ type estimate = { mean_work : float; stddev : float; samples : int }
 
 type t = { per_stage : estimate array }
 
-let run ?(probes = 5) ?(measurement_noise = 0.01) ~rng stages =
+let run ?(probes = 5) ?(measurement_noise = 0.01) ?bus ~rng stages =
   if probes < 1 then invalid_arg "Calibration.run: need at least one probe";
   if measurement_noise < 0.0 then invalid_arg "Calibration.run: negative noise";
-  let probe_stage (stage : Stage.t) =
+  let probe_stage stage_index (stage : Stage.t) =
     let acc = Stats.Welford.create () in
-    for _ = 1 to probes do
+    for probe = 1 to probes do
       (* One probe = run one item through this stage on the reference
          processor and time it; the observed work is a draw from the stage's
          true distribution, blurred by measurement error. *)
@@ -21,6 +21,12 @@ let run ?(probes = 5) ?(measurement_noise = 0.01) ~rng stages =
         if measurement_noise = 0.0 then true_work
         else Float.max 0.0 (true_work *. (1.0 +. Variate.normal rng ~mean:0.0 ~stddev:measurement_noise))
       in
+      (match bus with
+      | Some bus ->
+          Aspipe_obs.Bus.emit bus
+            (Aspipe_obs.Event.Calibration_sample
+               { stage = stage_index; probe = probe - 1; measured })
+      | None -> ());
       Stats.Welford.add acc measured
     done;
     {
@@ -29,7 +35,7 @@ let run ?(probes = 5) ?(measurement_noise = 0.01) ~rng stages =
       samples = probes;
     }
   in
-  { per_stage = Array.map probe_stage stages }
+  { per_stage = Array.mapi probe_stage stages }
 
 let stage_estimate t i =
   if i < 0 || i >= Array.length t.per_stage then invalid_arg "Calibration.stage_estimate";

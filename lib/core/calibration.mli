@@ -16,11 +16,15 @@ type t
 val run :
   ?probes:int ->
   ?measurement_noise:float ->
+  ?bus:Aspipe_obs.Bus.t ->
   rng:Aspipe_util.Rng.t ->
   Aspipe_skel.Stage.t array ->
   t
 (** [probes] items per stage (default 5; must be ≥ 1). [measurement_noise]
-    is the relative std-dev of the timing measurement (default 0.01). *)
+    is the relative std-dev of the timing measurement (default 0.01).
+    When [bus] is given, each probe measurement is emitted as a
+    [Calibration_sample] event, so telemetry sinks see the inputs of the
+    initial scheduling decision. *)
 
 val stage_estimate : t -> int -> estimate
 val work_vector : t -> float array

@@ -2,13 +2,18 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
   mutable fired : int;
+  bus : Aspipe_obs.Bus.t;
 }
 
 type handle = Pqueue.handle
 
-let create () = { queue = Pqueue.create (); clock = 0.0; fired = 0 }
+let create () =
+  let t = { queue = Pqueue.create (); clock = 0.0; fired = 0; bus = Aspipe_obs.Bus.create () } in
+  Aspipe_obs.Bus.set_clock t.bus (fun () -> t.clock);
+  t
 
 let now t = t.clock
+let bus t = t.bus
 
 let schedule_at t ~time f =
   if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";

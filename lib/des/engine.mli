@@ -15,6 +15,12 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time, in seconds; starts at 0. *)
 
+val bus : t -> Aspipe_obs.Bus.t
+(** The engine's telemetry bus. Its clock is this engine's virtual clock,
+    so any component holding the engine can emit correctly stamped
+    structured events, and any observer can subscribe sinks before a run
+    starts. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] fires [f] at [now t +. delay].
     Raises [Invalid_argument] if [delay < 0] or is not finite. *)

@@ -36,6 +36,8 @@ let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
     }
   in
   let engine = Topology.engine topo in
+  let bus = Engine.bus engine in
+  let module Event = Aspipe_obs.Event in
   let sense truth =
     if Variate.bernoulli rng ~p:sensor.dropout then None
     else begin
@@ -50,12 +52,18 @@ let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
       for i = 0 to n - 1 do
         (match sense (Node.availability (Topology.node topo i)) with
         | Some observed ->
+            Aspipe_obs.Bus.emit bus (Event.Monitor_sample { subject = Event.Node i; observed });
+            Aspipe_obs.Bus.emit bus
+              (Event.Forecast_update
+                 { subject = Event.Node i; predicted = Forecast.predict t.forecasters.(i); observed });
             Forecast.observe t.forecasters.(i) observed;
             t.last.(i) <- Some observed;
             t.samples <- t.samples + 1
         | None -> ());
         (match sense (Link.quality (Topology.user_link topo i)) with
         | Some observed ->
+            Aspipe_obs.Bus.emit bus
+              (Event.Monitor_sample { subject = Event.User_link i; observed });
             Forecast.observe t.user_link_forecasters.(i) observed;
             t.samples <- t.samples + 1
         | None -> ());
@@ -63,6 +71,8 @@ let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
           if i <> j then
             match sense (Link.quality (Topology.link topo ~src:i ~dst:j)) with
             | Some observed ->
+                Aspipe_obs.Bus.emit bus
+                  (Event.Monitor_sample { subject = Event.Link { src = i; dst = j }; observed });
                 Forecast.observe t.link_forecasters.(i).(j) observed;
                 t.samples <- t.samples + 1
             | None -> ()

@@ -33,6 +33,30 @@ let record_transfer t (tr : transfer) = t.transfers <- tr :: t.transfers
 let record_completion t ~item ~time = t.completions <- (item, time) :: t.completions
 let record_adaptation t a = t.adaptations <- a :: t.adaptations
 
+(* The trace is one sink among others on the event bus: the simulators emit
+   structured events and this translation rebuilds the classic record lists
+   from them, so every post-hoc consumer (experiments, trace_stats, the
+   adaptive engine's windowed throughput) keeps working unchanged while the
+   bus stays the single source of truth. *)
+let subscribe t bus =
+  let module Event = Aspipe_obs.Event in
+  ignore
+    (Aspipe_obs.Bus.subscribe bus (fun (event : Event.t) ->
+         match event.payload with
+         | Event.Service_finish { item; stage; node; start } ->
+             record_service t { item; stage; node; start; finish = event.time }
+         | Event.Transfer { item; from_stage; src; dst; start; bytes = _ } ->
+             record_transfer t { item; from_stage; src; dst; start; finish = event.time }
+         | Event.Completion { item } -> record_completion t ~item ~time:event.time
+         | Event.Adaptation_committed
+             { mapping_before; mapping_after; predicted_gain; migration_cost } ->
+             record_adaptation t
+               { at = event.time; mapping_before; mapping_after; predicted_gain; migration_cost }
+         | Event.Service_start _ | Event.Queue_sample _ | Event.Calibration_sample _
+         | Event.Monitor_sample _ | Event.Forecast_update _ | Event.Adaptation_considered _
+         | Event.Adaptation_rejected _ ->
+             ()))
+
 let completions t = Array.of_list (List.rev t.completions)
 let items_completed t = List.length t.completions
 

@@ -24,6 +24,13 @@ val record_transfer : t -> transfer -> unit
 val record_completion : t -> item:int -> time:float -> unit
 val record_adaptation : t -> adaptation -> unit
 
+val subscribe : t -> Aspipe_obs.Bus.t -> unit
+(** Attach this trace as a sink on an event bus: [Service_finish],
+    [Transfer], [Completion] and [Adaptation_committed] events are
+    translated into the corresponding records (other events are ignored).
+    {!Aspipe_skel.Skel_sim.create} does this automatically, making the bus
+    the single source of truth while the trace keeps its classic shape. *)
+
 val completions : t -> (int * float) array
 (** (item, departure time), in departure order. *)
 

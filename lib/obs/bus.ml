@@ -1,0 +1,36 @@
+type sink = Event.t -> unit
+
+type subscription = int
+
+type t = {
+  mutable clock : unit -> float;
+  mutable sinks : (subscription * sink) list;  (* subscription order *)
+  mutable next_id : int;
+  mutable seq : int;
+}
+
+let create ?(clock = fun () -> 0.0) () = { clock; sinks = []; next_id = 0; seq = 0 }
+
+let set_clock t clock = t.clock <- clock
+let now t = t.clock ()
+
+let subscribe t sink =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.sinks <- t.sinks @ [ (id, sink) ];
+  id
+
+let unsubscribe t id = t.sinks <- List.filter (fun (i, _) -> i <> id) t.sinks
+
+let active t = t.sinks <> []
+
+let emit t payload =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let event = { Event.time = t.clock (); seq; payload } in
+      List.iter (fun (_, sink) -> sink event) sinks
+
+let events_emitted t = t.seq

@@ -1,0 +1,42 @@
+(** The event bus: the single channel every instrumented component emits
+    structured {!Event.t}s on.
+
+    A bus belongs to a clock (the DES engine's virtual clock, or a
+    wall-clock for direct execution); {!emit} stamps each payload with the
+    clock reading and a monotonically increasing sequence number, then
+    hands the event to every subscribed sink in subscription order,
+    synchronously. Sinks must not emit back onto the bus.
+
+    Emission with no sinks attached is a cheap no-op apart from the payload
+    allocation, so instrumented hot paths need no conditional plumbing. *)
+
+type t
+
+type sink = Event.t -> unit
+
+type subscription
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh bus. The default clock is constantly [0.0] until
+    {!set_clock}. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Rebind the time source (the DES engine does this once at creation). *)
+
+val now : t -> float
+(** Current clock reading. *)
+
+val subscribe : t -> sink -> subscription
+(** Attach a sink; it sees every event emitted after this call. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Detach; idempotent. *)
+
+val active : t -> bool
+(** [true] iff at least one sink is attached. *)
+
+val emit : t -> Event.payload -> unit
+(** Stamp and deliver to all sinks. *)
+
+val events_emitted : t -> int
+(** Total events stamped so far (the next event's [seq]). *)

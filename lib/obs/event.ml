@@ -1,0 +1,87 @@
+type subject =
+  | Node of int
+  | Link of { src : int; dst : int }
+  | User_link of int
+
+type payload =
+  | Service_start of { item : int; stage : int; node : int }
+  | Service_finish of { item : int; stage : int; node : int; start : float }
+  | Transfer of {
+      item : int;
+      from_stage : int;
+      src : int;
+      dst : int;
+      start : float;
+      bytes : float;
+    }
+  | Completion of { item : int }
+  | Queue_sample of { stage : int; depth : int }
+  | Calibration_sample of { stage : int; probe : int; measured : float }
+  | Monitor_sample of { subject : subject; observed : float }
+  | Forecast_update of { subject : subject; predicted : float; observed : float }
+  | Adaptation_considered of {
+      mapping : int array;
+      observed_throughput : float;
+      adopted_throughput : float;
+    }
+  | Adaptation_committed of {
+      mapping_before : int array;
+      mapping_after : int array;
+      predicted_gain : float;
+      migration_cost : float;
+    }
+  | Adaptation_rejected of { mapping : int array; observed_throughput : float }
+
+type t = { time : float; seq : int; payload : payload }
+
+let kind = function
+  | Service_start _ -> "service_start"
+  | Service_finish _ -> "service_finish"
+  | Transfer _ -> "transfer"
+  | Completion _ -> "completion"
+  | Queue_sample _ -> "queue_sample"
+  | Calibration_sample _ -> "calibration_sample"
+  | Monitor_sample _ -> "monitor_sample"
+  | Forecast_update _ -> "forecast_update"
+  | Adaptation_considered _ -> "adaptation_considered"
+  | Adaptation_committed _ -> "adaptation_committed"
+  | Adaptation_rejected _ -> "adaptation_rejected"
+
+let pp_subject ppf = function
+  | Node i -> Format.fprintf ppf "node %d" i
+  | Link { src; dst } -> Format.fprintf ppf "link %d->%d" src dst
+  | User_link i -> Format.fprintf ppf "user-link %d" i
+
+let pp_mapping ppf m =
+  Format.pp_print_char ppf '[';
+  Array.iteri (fun i p -> Format.fprintf ppf "%s%d" (if i = 0 then "" else " ") p) m;
+  Format.pp_print_char ppf ']'
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%.6f #%d %s" t.time t.seq (kind t.payload);
+  (match t.payload with
+  | Service_start { item; stage; node } ->
+      Format.fprintf ppf " item %d stage %d node %d" item stage node
+  | Service_finish { item; stage; node; start } ->
+      Format.fprintf ppf " item %d stage %d node %d start %.6f" item stage node start
+  | Transfer { item; from_stage; src; dst; start; bytes } ->
+      Format.fprintf ppf " item %d stage %d %d->%d start %.6f bytes %g" item from_stage src dst
+        start bytes
+  | Completion { item } -> Format.fprintf ppf " item %d" item
+  | Queue_sample { stage; depth } -> Format.fprintf ppf " stage %d depth %d" stage depth
+  | Calibration_sample { stage; probe; measured } ->
+      Format.fprintf ppf " stage %d probe %d measured %.6g" stage probe measured
+  | Monitor_sample { subject; observed } ->
+      Format.fprintf ppf " %a observed %.4f" pp_subject subject observed
+  | Forecast_update { subject; predicted; observed } ->
+      Format.fprintf ppf " %a predicted %.4f observed %.4f" pp_subject subject predicted
+        observed
+  | Adaptation_considered { mapping; observed_throughput; adopted_throughput } ->
+      Format.fprintf ppf " mapping %a observed %.4f adopted %.4f" pp_mapping mapping
+        observed_throughput adopted_throughput
+  | Adaptation_committed { mapping_before; mapping_after; predicted_gain; migration_cost } ->
+      Format.fprintf ppf " %a -> %a gain %.4f cost %.4f" pp_mapping mapping_before pp_mapping
+        mapping_after predicted_gain migration_cost
+  | Adaptation_rejected { mapping; observed_throughput } ->
+      Format.fprintf ppf " mapping %a observed %.4f" pp_mapping mapping observed_throughput);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,209 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let rec to_buffer buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string buffer "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buffer (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buffer (Printf.sprintf "%.12g" f)
+  | String s -> add_escaped buffer s
+  | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          to_buffer buffer item)
+        items;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          add_escaped buffer key;
+          Buffer.add_char buffer ':';
+          to_buffer buffer value)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string json =
+  let buffer = Buffer.create 256 in
+  to_buffer buffer json;
+  Buffer.contents buffer
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buffer
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buffer e;
+              loop ()
+          | 'n' -> Buffer.add_char buffer '\n'; loop ()
+          | 't' -> Buffer.add_char buffer '\t'; loop ()
+          | 'r' -> Buffer.add_char buffer '\r'; loop ()
+          | 'b' -> Buffer.add_char buffer '\b'; loop ()
+          | 'f' -> Buffer.add_char buffer '\012'; loop ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Sufficient for the ASCII control characters we emit. *)
+              if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+              else Buffer.add_string buffer (Printf.sprintf "\\u%04x" code);
+              loop ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char buffer c;
+          loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+      match float_of_string_opt text with Some f -> Float f | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with Some f -> Float f | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((key, value) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, value) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (value :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (value :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (items [])
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

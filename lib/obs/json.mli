@@ -1,0 +1,28 @@
+(** A minimal, dependency-free JSON representation.
+
+    Serialization is deterministic: object keys keep their construction
+    order, floats render with ["%.12g"], and non-finite floats become
+    [null] (JSON has no NaN/Inf). The parser exists so exporters can be
+    validated round-trip in tests and smoke checks without external
+    tooling; it accepts standard JSON, nothing more. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed). Numbers
+    without [.], [e] or [E] that fit in an [int] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key json] — field lookup on [Obj], [None] otherwise. *)

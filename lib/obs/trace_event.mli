@@ -1,0 +1,36 @@
+(** The Chrome trace-event / Perfetto exporter.
+
+    A collector subscribes to a bus, buffers the run's events, and renders
+    them as a trace-event JSON document ([ui.perfetto.dev] or
+    [chrome://tracing] open it directly):
+
+    - each grid node is a thread track under the "grid" process; every
+      service is a complete ("X") slice on its node's track;
+    - an item's path across stages/nodes is a flow ("s"/"t"/"f" chain
+      keyed by item id), so Perfetto draws arrows following the item;
+    - transfers are slices on per-source-node tracks of the "network"
+      process;
+    - committed adaptations are global instant markers carrying the
+      mapping change, predicted gain and migration cost in [args];
+    - completions and node-availability samples render as counter tracks.
+
+    Virtual seconds are scaled to trace microseconds. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Bus.sink
+(** The collecting sink (subscribe it to a bus, or feed events directly). *)
+
+val attach : t -> Bus.t -> unit
+(** [subscribe bus (sink t)], discarding the subscription. *)
+
+val events_collected : t -> int
+
+val to_json : t -> Json.t
+(** The [{"traceEvents": [...], ...}] document. *)
+
+val to_string : t -> string
+
+val write : t -> path:string -> unit

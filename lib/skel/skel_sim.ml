@@ -6,6 +6,8 @@ module Topology = Aspipe_grid.Topology
 module Node = Aspipe_grid.Node
 module Link = Aspipe_grid.Link
 module Trace = Aspipe_grid.Trace
+module Bus = Aspipe_obs.Bus
+module Event = Aspipe_obs.Event
 
 type stage_state = {
   spec : Stage.t;
@@ -20,6 +22,7 @@ type stage_state = {
 
 type t = {
   engine : Engine.t;
+  bus : Bus.t;
   topo : Topology.t;
   trace : Trace.t;
   rng : Rng.t;
@@ -58,6 +61,7 @@ let rec try_dispatch t si =
   let s = t.stages.(si) in
   if (not s.busy) && s.migrating_to = None && not (Queue.is_empty s.pending) then begin
     let item = Queue.pop s.pending in
+    Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Queue.length s.pending });
     s.busy <- true;
     (* A buffer slot opened: land one parked delivery. This must happen
        after [busy] is set, or the landed delivery's own dispatch attempt
@@ -68,10 +72,12 @@ let rec try_dispatch t si =
     let start = ref (Engine.now t.engine) in
     let work = work_for t ~item ~stage:si in
     Server.submit (Node.server node) ~work ~tag:item
-      ~on_start:(fun () -> start := Engine.now t.engine)
+      ~on_start:(fun () ->
+        start := Engine.now t.engine;
+        Bus.emit t.bus (Event.Service_start { item; stage = si; node = node_idx }))
       (fun () ->
-        Trace.record_service t.trace
-          { Trace.item; stage = si; node = node_idx; start = !start; finish = Engine.now t.engine };
+        Bus.emit t.bus
+          (Event.Service_finish { item; stage = si; node = node_idx; start = !start });
         (* The output move is part of the stage's cycle — the stage stays
            busy until its output is delivered downstream (synchronous send,
            as in the skeleton's (move).(process).(move) behaviour), so slow
@@ -89,7 +95,7 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
     let link = Topology.user_link t.topo from_node in
     Link.transfer link ~bytes (fun () ->
         t.completed <- t.completed + 1;
-        Trace.record_completion t.trace ~item ~time:(Engine.now t.engine);
+        Bus.emit t.bus (Event.Completion { item });
         on_delivered ())
   else begin
     let dst_stage = t.stages.(from_stage + 1) in
@@ -97,17 +103,13 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
     let link = Topology.link t.topo ~src:from_node ~dst:dst_node in
     let start = Engine.now t.engine in
     Link.transfer link ~bytes (fun () ->
-        Trace.record_transfer t.trace
-          {
-            Trace.item;
-            from_stage;
-            src = from_node;
-            dst = dst_node;
-            start;
-            finish = Engine.now t.engine;
-          };
+        Bus.emit t.bus
+          (Event.Transfer { item; from_stage; src = from_node; dst = dst_node; start; bytes });
         land_delivery t dst_stage (fun () ->
             Queue.push item dst_stage.pending;
+            Bus.emit t.bus
+              (Event.Queue_sample
+                 { stage = from_stage + 1; depth = Queue.length dst_stage.pending });
             on_delivered ();
             try_dispatch t (from_stage + 1)))
   end
@@ -126,6 +128,7 @@ let inject t ~item =
   Link.transfer link ~bytes:t.input.Stream_spec.item_bytes (fun () ->
       land_delivery t first (fun () ->
           Queue.push item first.pending;
+          Bus.emit t.bus (Event.Queue_sample { stage = 0; depth = Queue.length first.pending });
           try_dispatch t 0))
 
 let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
@@ -135,9 +138,14 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
   | Some c when c < 1 -> invalid_arg "Skel_sim: queue capacity must be at least 1"
   | Some _ | None -> ());
   let engine = Topology.engine topo in
+  (* The simulator emits structured events on the engine's bus; the caller's
+     trace is subscribed as one sink among any others (JSONL, Perfetto,
+     metrics) attached before or during the run. *)
+  Trace.subscribe trace (Engine.bus engine);
   let t =
     {
       engine;
+      bus = Engine.bus engine;
       topo;
       trace;
       rng;

@@ -9,7 +9,10 @@ module Table = struct
     t.rows <- row :: t.rows
 
   let add_float_row t ?(precision = 4) (label, values) =
-    add_row t (label :: List.map (fun v -> Printf.sprintf "%.*g" precision v) values)
+    let cell v =
+      if Float.is_nan v then "-" else Printf.sprintf "%.*g" precision v
+    in
+    add_row t (label :: List.map cell values)
 
   let title t = t.title
   let columns t = t.columns

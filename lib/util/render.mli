@@ -10,7 +10,8 @@ module Table : sig
   (** Raises [Invalid_argument] if the row width differs from the header. *)
 
   val add_float_row : t -> ?precision:int -> (string * float list) -> unit
-  (** [add_float_row t (label, values)] — convenience for numeric rows. *)
+  (** [add_float_row t (label, values)] — convenience for numeric rows.
+      NaN renders as ["-"]: an absent measurement, not a number. *)
 
   val title : t -> string
   val columns : t -> string list

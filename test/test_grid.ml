@@ -398,6 +398,29 @@ let test_trace_series () =
     (Invalid_argument "Trace.throughput_series: window must be positive") (fun () ->
       ignore (Trace.throughput_series t ~window:0.0))
 
+let test_trace_series_empty () =
+  let t = Trace.create () in
+  Alcotest.(check int) "no completions -> empty series" 0
+    (Array.length (Trace.throughput_series t ~window:2.0))
+
+let test_trace_series_single () =
+  let t = Trace.create () in
+  Trace.record_completion t ~item:0 ~time:3.0;
+  let series = Trace.throughput_series t ~window:2.0 in
+  Alcotest.(check int) "ceil(3/2) windows" 2 (Array.length series);
+  check_float "first window empty" 0.0 (snd series.(0));
+  check_float "lone completion in second window" 0.5 (snd series.(1));
+  check_float "second midpoint" 3.0 (fst series.(1))
+
+let test_trace_series_boundary () =
+  (* A completion exactly at span = k·window would index one past the last
+     window without the clamp. *)
+  let t = Trace.create () in
+  Trace.record_completion t ~item:0 ~time:4.0;
+  let series = Trace.throughput_series t ~window:2.0 in
+  Alcotest.(check int) "span/window windows" 2 (Array.length series);
+  check_float "boundary completion clamped into last window" 0.5 (snd series.(1))
+
 let test_trace_services () =
   let t = sample_trace () in
   Alcotest.(check int) "three services" 3 (List.length (Trace.services t));
@@ -538,6 +561,9 @@ let () =
           Alcotest.test_case "completions" `Quick test_trace_completions;
           Alcotest.test_case "throughput after" `Quick test_trace_throughput_after;
           Alcotest.test_case "series" `Quick test_trace_series;
+          Alcotest.test_case "series empty" `Quick test_trace_series_empty;
+          Alcotest.test_case "series single" `Quick test_trace_series_single;
+          Alcotest.test_case "series boundary" `Quick test_trace_series_boundary;
           Alcotest.test_case "services" `Quick test_trace_services;
           Alcotest.test_case "sojourn" `Quick test_trace_sojourn;
           Alcotest.test_case "adaptations" `Quick test_trace_adaptations;

@@ -520,6 +520,17 @@ let test_table_render () =
       Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (string_contains s needle))
     [ "demo"; "x"; "y"; "1.5" ]
 
+let test_table_nan_renders_dash () =
+  let table = Render.Table.create ~title:"missing" ~columns:[ "label"; "v1"; "v2" ] in
+  Render.Table.add_float_row table ("row", [ nan; 2.5 ]);
+  (match Render.Table.rows table with
+  | [ [ _; c1; c2 ] ] ->
+      Alcotest.(check string) "NaN cell is a dash" "-" c1;
+      Alcotest.(check string) "finite cell unaffected" "2.5" c2
+  | _ -> Alcotest.fail "expected one three-cell row");
+  Alcotest.(check bool) "rendered table has no literal nan" false
+    (string_contains (Render.Table.to_string table) "nan")
+
 let test_table_row_width () =
   let table = Render.Table.create ~title:"t" ~columns:[ "a"; "b" ] in
   Alcotest.check_raises "row width mismatch" (Invalid_argument "Table.add_row: row width mismatch")
@@ -615,6 +626,7 @@ let () =
       ( "render",
         [
           Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "nan renders dash" `Quick test_table_nan_renders_dash;
           Alcotest.test_case "row width" `Quick test_table_row_width;
           Alcotest.test_case "plot" `Quick test_plot;
         ] );
