@@ -1,5 +1,6 @@
 (* The benchmark harness: regenerates every reconstructed table and figure
-   (E1..E11) and then runs Bechamel micro-benchmarks of the decision path —
+   (the full registry, E1..E20) and then runs Bechamel micro-benchmarks of
+   the decision path —
    the components whose speed makes run-time adaptation viable at all.
 
    Usage: dune exec bench/main.exe            (full experiment sizes)

@@ -6,6 +6,7 @@
      simulate                run an ad-hoc adaptive-vs-static comparison
      trace-export            run a scenario and export Perfetto/JSONL telemetry
      metrics                 run a scenario and print the metrics snapshot
+     faults                  crash nodes mid-run: static DNF vs adaptive failover
      calibrate               show a calibration pass on a synthetic pipeline
      forecast-demo           NWS-style forecaster accuracy on a step signal *)
 
@@ -16,6 +17,7 @@ module Forecast = Aspipe_util.Forecast
 module Stage = Aspipe_skel.Stage
 module Stream_spec = Aspipe_skel.Stream_spec
 module Loadgen = Aspipe_grid.Loadgen
+module Fault = Aspipe_fault.Fault
 module Scenario = Aspipe_core.Scenario
 module Adaptive = Aspipe_core.Adaptive
 module Baselines = Aspipe_core.Baselines
@@ -47,18 +49,9 @@ let experiment_kind e =
 
 let list_experiments json =
   if json then
-    print_endline
-      (Json.to_string
-         (Json.List
-            (List.map
-               (fun e ->
-                 Json.Obj
-                   [
-                     ("id", Json.String e.Registry.id);
-                     ("kind", Json.String (experiment_kind e));
-                     ("title", Json.String e.Registry.title);
-                   ])
-               Registry.all)))
+    (* The registry renders itself, so this listing, the text listing and
+       bench --only can never disagree about what exists. *)
+    print_endline (Json.to_string (Registry.to_json ()))
   else
     List.iter
       (fun e -> Printf.printf "%-4s %-7s %s\n" e.Registry.id (experiment_kind e) e.Registry.title)
@@ -82,7 +75,7 @@ let run_experiment quick id =
 
 let experiment_cmd =
   let id_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E11 or 'all').")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E20 or 'all').")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one experiment (or all)")
     Term.(ret (const run_experiment $ quick_arg $ id_arg))
@@ -93,7 +86,7 @@ let experiment_cmd =
    grid, an optionally hot middle stage, and a load step on node 0. With
    [quick], sizes shrink to values under which the default threshold policy
    still commits at least one adaptation. *)
-let cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at =
+let cli_scenario ?(faults = []) ~quick ~nodes ~stages ~items ~hot ~step_at () =
   let items = if quick then min items 150 else items in
   let step_at = if quick && step_at > 0.0 then Float.min step_at 30.0 else step_at in
   let stage_array =
@@ -106,7 +99,7 @@ let cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at =
   Scenario.make ~name:"cli"
     ~make_topo:(fun engine ->
       Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
-    ~loads ~stages:stage_array
+    ~loads ~faults ~stages:stage_array
     ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
     ~horizon:1e5 ()
 
@@ -119,20 +112,47 @@ let scenario_args =
   Term.(const (fun nodes stages items hot step_at -> (nodes, stages, items, hot, step_at))
         $ nodes $ stages $ items $ hot $ step)
 
-let simulate verbose quick seed (nodes, stages, items, hot, step_at) summary csv_dir trace_out =
+let simulate verbose quick seed (nodes, stages, items, hot, step_at) fault_spec summary csv_dir
+    trace_out =
   setup_logs verbose;
-  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let faults =
+    match fault_spec with
+    | None -> []
+    | Some spec -> (
+        try Fault.parse_spec spec
+        with Invalid_argument msg ->
+          Printf.eprintf "aspipe: %s\n" msg;
+          exit 1)
+  in
+  let scenario = cli_scenario ~faults ~quick ~nodes ~stages ~items ~hot ~step_at () in
   let collector = Trace_event.create () in
   let instrument =
     match trace_out with
     | None -> None
     | Some _ -> Some (fun bus -> Trace_event.attach collector bus)
   in
-  let static = Baselines.static_model_best ~scenario ~seed () in
+  (* Under a fault schedule the static mapping may never finish, so probe
+     the fault-free world for its mapping and report a DNF honestly. *)
+  (if faults = [] then
+     let static = Baselines.static_model_best ~scenario ~seed () in
+     Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
+       (Aspipe_model.Mapping.to_string static.Baselines.mapping)
+       static.Baselines.makespan
+   else
+     let base = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at () in
+     let nominal = Baselines.static_model_best ~scenario:base ~seed () in
+     let static =
+       Baselines.static_faulty ~label:"static-model-best"
+         ~mapping:(Aspipe_model.Mapping.to_array nominal.Baselines.mapping)
+         ~scenario ~seed ()
+     in
+     Printf.printf "static-model-best : mapping %s, %s (%d/%d items, %d lost)\n"
+       (Aspipe_model.Mapping.to_string static.Baselines.f_mapping)
+       (match static.Baselines.finish with
+       | Some f -> Printf.sprintf "makespan %.1f s" f
+       | None -> "DNF")
+       static.Baselines.completed static.Baselines.total static.Baselines.items_lost);
   let adaptive = Adaptive.run ?instrument ~scenario ~seed () in
-  Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
-    (Aspipe_model.Mapping.to_string static.Baselines.mapping)
-    static.Baselines.makespan;
   Format.printf "adaptive          : %a@." Adaptive.pp_report adaptive;
   if summary then
     Aspipe_util.Render.Table.print
@@ -161,18 +181,29 @@ let simulate verbose quick seed (nodes, stages, items, hot, step_at) summary csv
       in
       Printf.printf "wrote %s and %s\n" (Filename.concat dir "gantt.csv") path
 
+let faults_arg =
+  Arg.(value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Node fault schedule: semicolon-separated $(i,node:profile) clauses where a profile \
+             is $(b,crash\\@T), $(b,crash\\@T+D) (crash then recover after D), \
+             $(b,mtbf=M,mttr=R) or $(b,windows=T1+D1,T2+D2,...) — e.g. \
+             $(b,0:crash\\@120;1:mtbf=500,mttr=50).")
+
 let simulate_cmd =
   let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Print the per-stage trace summary.") in
   let csv = Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Write gantt.csv and stage_summary.csv to DIR.") in
   let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the adaptive run as Chrome trace-event/Perfetto JSON to FILE.") in
   Cmd.v (Cmd.info "simulate" ~doc:"Ad-hoc adaptive vs static run on a uniform grid")
-    Term.(const simulate $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ summary $ csv $ trace)
+    Term.(const simulate $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ faults_arg
+          $ summary $ csv $ trace)
 
 (* ----------------------------------------------------------- trace-export *)
 
 let trace_export verbose quick seed (nodes, stages, items, hot, step_at) format out =
   setup_logs verbose;
-  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at () in
   let write_out content =
     match out with
     | None -> print_string content
@@ -222,7 +253,7 @@ let trace_export_cmd =
 
 let metrics verbose quick seed (nodes, stages, items, hot, step_at) json =
   setup_logs verbose;
-  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at in
+  let scenario = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at () in
   let meter = ref None in
   let report =
     Adaptive.run
@@ -305,6 +336,61 @@ let replicate_cmd =
     (Cmd.info "replicate" ~doc:"Pipeline with model-allocated replicated stages")
     Term.(const replicate $ verbose_arg $ seed_arg $ nodes $ stages $ hot $ items)
 
+(* ----------------------------------------------------------------- faults *)
+
+let faults_demo verbose seed nodes stages items fault_spec =
+  setup_logs verbose;
+  let schedule =
+    try Fault.parse_spec fault_spec
+    with Invalid_argument msg ->
+      Printf.eprintf "aspipe: %s\n" msg;
+      exit 1
+  in
+  List.iter
+    (fun (node, profile) ->
+      Format.printf "node %d: %a@." node Fault.pp_profile profile)
+    schedule;
+  let scenario ~faults =
+    Scenario.make ~name:"cli-faults"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+      ~faults
+      ~stages:(Aspipe_workload.Synthetic.balanced ~n:stages ())
+      ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
+      ~horizon:1e5 ()
+  in
+  let nominal = Baselines.static_model_best ~scenario:(scenario ~faults:[]) ~seed () in
+  let static =
+    Baselines.static_faulty ~label:"static"
+      ~mapping:(Aspipe_model.Mapping.to_array nominal.Baselines.mapping)
+      ~scenario:(scenario ~faults:schedule) ~seed ()
+  in
+  (match static.Baselines.finish with
+  | Some f ->
+      Printf.printf "static   : finished at %.1f s (%d/%d items, %d lost along the way)\n" f
+        static.Baselines.completed static.Baselines.total static.Baselines.items_lost
+  | None ->
+      Printf.printf "static   : DNF at %d/%d items\n" static.Baselines.completed
+        static.Baselines.total;
+      Option.iter (Printf.printf "%s\n") static.Baselines.stall);
+  let adaptive = Adaptive.run ~scenario:(scenario ~faults:schedule) ~seed () in
+  Format.printf "adaptive : %a@." Adaptive.pp_report adaptive
+
+let faults_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Grid size.") in
+  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let items = Arg.(value & opt int 300 & info [ "items" ] ~doc:"Input items.") in
+  let spec =
+    Arg.(value
+        & opt string "1:crash@40"
+        & info [ "faults" ] ~docv:"SPEC"
+            ~doc:"Fault schedule (same grammar as $(b,simulate --faults)).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Demo: crash nodes mid-run and compare static DNF against adaptive failover")
+    Term.(const faults_demo $ verbose_arg $ seed_arg $ nodes $ stages $ items $ spec)
+
 (* -------------------------------------------------------------- calibrate *)
 
 let calibrate seed probes =
@@ -374,6 +460,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; experiment_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; farm_cmd;
-            replicate_cmd; calibrate_cmd; forecast_cmd; export_pepa_cmd;
+            list_cmd; experiment_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; faults_cmd;
+            farm_cmd; replicate_cmd; calibrate_cmd; forecast_cmd; export_pepa_cmd;
           ]))

@@ -25,6 +25,7 @@ type config = {
   migration : Migration.t;
   fix_first_on : int option;
   initial_resource_reading : bool;
+  failover : Policy.failover;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     migration = Migration.default;
     fix_first_on = None;
     initial_resource_reading = true;
+    failover = Policy.default_failover;
   }
 
 type report = {
@@ -53,6 +55,9 @@ type report = {
   adaptation_count : int;
   policy_evaluations : int;
   monitor_samples : int;
+  failover_count : int;
+  items_lost : int;
+  items_redispatched : int;
 }
 
 let run ?(config = default_config) ?instrument ~scenario ~seed () =
@@ -80,8 +85,8 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
 
   (* Phase 2: initial scheduling. *)
   let monitor =
-    Monitor.create ~sensor:config.sensor ~rng:monitor_rng ~every:config.monitor_every
-      ~horizon:scenario.Scenario.horizon topo
+    Monitor.create ~sensor:config.sensor ~suspect_after:config.failover.Policy.suspect_after
+      ~rng:monitor_rng ~every:config.monitor_every ~horizon:scenario.Scenario.horizon topo
   in
   let spec_from ?link_quality ?user_link_quality availability =
     Costspec.with_stage_work
@@ -89,11 +94,17 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
          ())
       calibrated_work
   in
+  (* Suspected nodes get availability ~0 rather than their forecast: a dead
+     node answers no sensor, so its forecast is stale pre-crash history that
+     would happily invite the search to map back onto the corpse. Suspicion
+     is observable monitor state, so the performance policy is entitled to
+     it too — and fault-free runs never suspect anyone, leaving this path
+     bit-identical to the pre-fault build. *)
   let belief_spec () =
     spec_from
       ~link_quality:(fun ~src ~dst -> Monitor.link_forecast monitor ~src ~dst)
       ~user_link_quality:(Monitor.user_link_forecast monitor)
-      (Monitor.node_forecast monitor)
+      (fun i -> if Monitor.suspected monitor i then 1e-9 else Monitor.node_forecast monitor i)
   in
   let initial_spec =
     if config.initial_resource_reading then
@@ -128,9 +139,57 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
   let last_eval_completed = ref 0 in
   let evaluations = ref 0 in
   let adaptation_count = ref 0 in
+  let failover_count = ref 0 in
+  let last_failover = ref neg_infinity in
+  (* Failure response, checked before the performance policy: a suspected
+     node holding a stage makes throughput arguments moot — the workload
+     simply never finishes without a re-map. The search is re-run over the
+     belief spec with suspects' availability crushed to ~0, which makes it
+     route around the dead nodes with the same machinery that balances the
+     live ones. *)
+  let try_failover () =
+    let current = Skel_sim.mapping sim in
+    let suspect_mapped =
+      config.failover.Policy.enabled
+      && Array.exists (fun node -> Monitor.suspected monitor node) current
+    in
+    if
+      suspect_mapped
+      && Engine.now engine -. !last_failover >= config.failover.Policy.backoff
+      && !failover_count < config.failover.Policy.max_failovers
+    then begin
+      let predictor = Predictor.make ~kind:config.evaluator (belief_spec ()) in
+      let result =
+        match config.fix_first_on with
+        | None -> Predictor.choose predictor
+        | Some p -> Predictor.choose ~fix_first_on:p predictor
+      in
+      let target = Mapping.to_array result.Search.mapping in
+      if target <> current then begin
+        let replayed = List.length (Skel_sim.lost_items sim) in
+        Skel_sim.failover sim target;
+        incr failover_count;
+        last_failover := Engine.now engine;
+        adopted_throughput := result.Search.score;
+        Aspipe_obs.Bus.emit bus
+          (Aspipe_obs.Event.Failover_committed
+             { mapping_before = current; mapping_after = target; items_redispatched = replayed });
+        Log.info (fun m ->
+            m "[%s] t=%.1f failover %s -> %s (%d checkpointed items replayed)"
+              scenario.Scenario.name (Engine.now engine)
+              (Mapping.to_string (Mapping.of_array ~processors:(Topology.size topo) current))
+              (Mapping.to_string result.Search.mapping)
+              replayed);
+        true
+      end
+      else false
+    end
+    else false
+  in
   let evaluate () =
     if Skel_sim.finished sim then false
     else if Skel_sim.migrating sim then true (* let the move settle first *)
+    else if try_failover () then true
     else begin
       incr evaluations;
       let now = Engine.now engine in
@@ -218,13 +277,20 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
     adaptation_count = !adaptation_count;
     policy_evaluations = !evaluations;
     monitor_samples = Monitor.samples_taken monitor;
+    failover_count = !failover_count;
+    items_lost = Skel_sim.items_lost_total sim;
+    items_redispatched = Skel_sim.items_redispatched_total sim;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>scenario %s, policy %s:@ initial %s -> final %s@ makespan %.2f s, throughput %.4f \
-     items/s@ %d adaptations over %d evaluations (%d monitor samples)@]"
+     items/s@ %d adaptations over %d evaluations (%d monitor samples)%t@]"
     r.scenario_name r.policy_name
     (Mapping.to_string r.initial_mapping)
     (Mapping.to_string r.final_mapping)
     r.makespan r.throughput r.adaptation_count r.policy_evaluations r.monitor_samples
+    (fun ppf ->
+      if r.failover_count > 0 || r.items_lost > 0 then
+        Format.fprintf ppf "@ %d failovers; %d items lost, %d re-dispatched" r.failover_count
+          r.items_lost r.items_redispatched)

@@ -35,12 +35,18 @@ type config = {
   initial_resource_reading : bool;
       (** calibrate against ground-truth availability at t = 0 (an NWS
           deployment has pre-run history); otherwise assume dedicated *)
+  failover : Policy.failover;
+      (** failure response: when the monitor suspects a mapped node (missed
+          heartbeats), re-map the orphaned stages to survivors and replay
+          their checkpointed items — checked at each evaluation epoch,
+          before the performance policy *)
 }
 
 val default_config : config
 (** threshold policy (drop 0.25, cooldown 30 s), analytic evaluator,
     monitor every 5 s, evaluate every 10 s, default sensor, 5 probes,
-    default migration model, initial reading on. *)
+    default migration model, initial reading on,
+    {!Policy.default_failover}. *)
 
 type report = {
   scenario_name : string;
@@ -54,6 +60,9 @@ type report = {
   adaptation_count : int;
   policy_evaluations : int;
   monitor_samples : int;
+  failover_count : int;  (** committed failure-driven re-maps *)
+  items_lost : int;  (** cumulative item-loss events across all crashes *)
+  items_redispatched : int;  (** checkpoint replays that re-entered the pipe *)
 }
 
 val run :

@@ -104,6 +104,96 @@ let oracle_static ?(limit = 4096) ?fix_first_on ~scenario ~seed () =
   let best = run_static ~label:"oracle-static" ~mapping:best_mapping ~scenario ~seed in
   (best, results)
 
+(* --- behaviour under faults ------------------------------------------ *)
+
+type fault_outcome = {
+  f_label : string;
+  f_mapping : Mapping.t;
+  f_trace : Trace.t;
+  completed : int;
+  total : int;
+  finish : float option;  (* completion time; None = did not finish *)
+  stall : string option;  (* the watchdog diagnostic when DNF *)
+  restarts : int;
+  items_lost : int;
+}
+
+(* A static run that survives fault-induced stalls: instead of raising like
+   [run_static], report DNF with the partial progress and the watchdog's
+   diagnosis. Crash+recover schedules may still complete (the simulator's
+   same-node checkpoint replay) — what a static mapping can never do is
+   route around a node that stays dead. *)
+let static_faulty ?max_time ~label ~mapping ~scenario ~seed () =
+  let env_rng, sim_rng = split_rngs seed in
+  let topo = Scenario.build scenario ~rng:env_rng in
+  let mapping = Mapping.of_array ~processors:(Topology.size topo) mapping in
+  let trace = Trace.create () in
+  let sim =
+    Skel_sim.create ~rng:sim_rng ~topo ~stages:scenario.Scenario.stages
+      ~mapping:(Mapping.to_array mapping) ~input:scenario.Scenario.input ~trace ()
+  in
+  let status = Skel_sim.run ?max_time sim in
+  {
+    f_label = label;
+    f_mapping = mapping;
+    f_trace = trace;
+    completed = Skel_sim.items_completed sim;
+    total = Skel_sim.items_total sim;
+    finish = (match status with `Completed -> Some (Trace.makespan trace) | `Stalled _ -> None);
+    stall = (match status with `Completed -> None | `Stalled d -> Some d);
+    restarts = 0;
+    items_lost = Skel_sim.items_lost_total sim;
+  }
+
+(* The naive fault-tolerance baseline: run statically; when the pipeline
+   stalls, charge a detection timeout (counted from the last observed
+   completion — the instant progress provably stopped), then restart the
+   whole workload from scratch on a model-best mapping that avoids every
+   node seen dead at detection time. Each phase rebuilds the identical
+   world, so a permanent crash re-fires at its scheduled time but now hits
+   a node the restarted mapping no longer uses. *)
+let static_restart ?(detection_timeout = 30.0) ?(max_restarts = 3) ?max_time ~scenario ~seed ()
+    =
+  let rec phase ~restarts ~elapsed ~dead =
+    let env_rng, sim_rng = split_rngs seed in
+    let topo = Scenario.build scenario ~rng:env_rng in
+    let availability i =
+      if List.mem i dead then 1e-9 else Node.availability (Topology.node topo i)
+    in
+    let spec =
+      Costspec.of_topology ~availability ~topo ~stages:scenario.Scenario.stages
+        ~input:scenario.Scenario.input ()
+    in
+    let result = Predictor.choose (Predictor.make ~kind:Predictor.Analytic spec) in
+    let mapping = result.Search.mapping in
+    let trace = Trace.create () in
+    let sim =
+      Skel_sim.create ~rng:sim_rng ~topo ~stages:scenario.Scenario.stages
+        ~mapping:(Mapping.to_array mapping) ~input:scenario.Scenario.input ~trace ()
+    in
+    let status = Skel_sim.run ?max_time sim in
+    let completed = Skel_sim.items_completed sim in
+    let total = Skel_sim.items_total sim in
+    let base = { f_label = "static-restart"; f_mapping = mapping; f_trace = trace;
+                 completed; total; finish = None; stall = None; restarts;
+                 items_lost = Skel_sim.items_lost_total sim }
+    in
+    match status with
+    | `Completed -> { base with finish = Some (elapsed +. Trace.makespan trace) }
+    | `Stalled diagnostic ->
+        let stalled_at = Trace.makespan trace in
+        let detected = stalled_at +. detection_timeout in
+        let now_dead =
+          List.filter
+            (fun i -> not (Node.up (Topology.node topo i)))
+            (List.init (Topology.size topo) Fun.id)
+        in
+        let dead = List.sort_uniq compare (now_dead @ dead) in
+        if restarts >= max_restarts then { base with stall = Some diagnostic }
+        else phase ~restarts:(restarts + 1) ~elapsed:(elapsed +. detected) ~dead
+  in
+  phase ~restarts:0 ~elapsed:0.0 ~dead:[]
+
 let clairvoyant ~scenario ~seed =
   let config =
     {

@@ -48,3 +48,52 @@ val clairvoyant : scenario:Scenario.t -> seed:int -> Adaptive.report
 (** The adaptive engine with perfect sensors, dense monitoring, noise-free
     calibration and an eager policy — the practical upper bound on what
     adaptation can deliver. *)
+
+(** {2 Behaviour under faults}
+
+    What non-adaptive strategies do when the scenario's fault schedule
+    kills nodes: stall (DNF) or naively restart. These give the fault
+    experiments their contrast with adaptive failover. *)
+
+type fault_outcome = {
+  f_label : string;
+  f_mapping : Aspipe_model.Mapping.t;  (** the (last) static assignment used *)
+  f_trace : Aspipe_grid.Trace.t;  (** the last phase's trace *)
+  completed : int;  (** items delivered in the last phase *)
+  total : int;
+  finish : float option;
+      (** wall-clock completion time including any detection/restart
+          charges; [None] = did not finish *)
+  stall : string option;  (** the stall-watchdog diagnostic when DNF *)
+  restarts : int;
+  items_lost : int;  (** item-loss events in the last phase *)
+}
+
+val static_faulty :
+  ?max_time:float ->
+  label:string ->
+  mapping:int array ->
+  scenario:Scenario.t ->
+  seed:int ->
+  unit ->
+  fault_outcome
+(** [run_static] that reports a fault-induced stall as a DNF outcome (with
+    partial progress and the watchdog's diagnosis) instead of raising.
+    Crash+recover schedules may still complete via the simulator's
+    same-node checkpoint replay; a permanently dead node means DNF. *)
+
+val static_restart :
+  ?detection_timeout:float ->
+  ?max_restarts:int ->
+  ?max_time:float ->
+  scenario:Scenario.t ->
+  seed:int ->
+  unit ->
+  fault_outcome
+(** The naive fault-tolerance baseline: run the model-best static mapping;
+    on a stall, charge [detection_timeout] (default 30 s) from the moment
+    progress stopped, then restart the whole workload from item 0 on a
+    model-best mapping avoiding every node seen dead at detection — up to
+    [max_restarts] (default 3) times. [finish] accumulates the abandoned
+    phases plus the completing one; no work survives a restart, which is
+    exactly the penalty adaptive failover's checkpoint replay avoids. *)

@@ -68,3 +68,13 @@ let threshold ?(drop = 0.25) ?(min_gain = 0.1) ?(cooldown = 30.0) () =
 
 let always_best () =
   { name = "always_best"; decide = (fun ctx -> consider_switch ~min_gain:0.01 ctx) }
+
+type failover = {
+  enabled : bool;
+  suspect_after : int;
+  backoff : float;
+  max_failovers : int;
+}
+
+let default_failover = { enabled = true; suspect_after = 2; backoff = 10.0; max_failovers = 16 }
+let no_failover = { default_failover with enabled = false }

@@ -97,6 +97,22 @@ let submit t ~work ?(tag = 0) ?(on_start = fun () -> ()) on_complete =
   Queue.push { tag; on_start; on_complete; remaining = work } t.waiting;
   start_next t
 
+let drop_all t =
+  cancel_completion t;
+  let dropped = ref [] in
+  (match t.current with
+  | Some job ->
+      (* Close the busy interval the aborted job opened; its callbacks never
+         fire — the caller owns whatever recovery the drop implies. *)
+      t.busy_time <- t.busy_time +. (Engine.now t.engine -. t.busy_since);
+      t.current <- None;
+      dropped := [ job.tag ]
+  | None -> ());
+  t.last_update <- Engine.now t.engine;
+  Queue.iter (fun job -> dropped := job.tag :: !dropped) t.waiting;
+  Queue.clear t.waiting;
+  List.rev !dropped
+
 let queue_length t = Queue.length t.waiting
 let busy t = t.current <> None
 let completed t = t.completed

@@ -25,6 +25,12 @@ val submit :
 val queue_length : t -> int
 (** Jobs waiting, excluding the one in service. *)
 
+val drop_all : t -> int list
+(** Abort the in-service job and discard every waiting job without running
+    any of their callbacks — the processor crashed. Returns the tags of the
+    dropped jobs, in-service first then queue order. The server is left
+    idle and usable (a later {!submit} starts normally). *)
+
 val busy : t -> bool
 val completed : t -> int
 

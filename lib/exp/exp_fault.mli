@@ -1,0 +1,57 @@
+(** E18–E20: the fault-tolerance evaluation.
+
+    Every strategy replays the {e identical} fault schedule (it lives in
+    the scenario, not the runner), so the outcomes differ only in how each
+    strategy responds to the same failures.
+
+    - E18 (table): a one-shot fail-stop crash of the node the model-best
+      static schedule relies on, 70% of the way through its nominal
+      makespan. Static DNFs; restart-from-scratch completes but pays the
+      abandoned work plus a detection timeout; adaptive failover re-maps
+      the orphaned stages and replays only the checkpointed items.
+    - E19 (table): Poisson crash-repair (MTTR 40 s) on three of four
+      nodes across an MTBF sweep. Static waits out every repair on the
+      same node; adaptive fails over and re-absorbs recovered nodes.
+    - E20 (table): E15's congestion story with a blackout — all
+      inter-node routes drop to the quality floor mid-run. The adaptive
+      engine's link forecasts collapse and the search colocates. *)
+
+type e18_row = {
+  label : string;
+  finish : float option;  (** [None] = did not finish *)
+  completed : int;
+  total : int;
+  items_lost : int;
+  items_redispatched : int;
+  failovers : int;
+  restarts : int;
+}
+
+val e18_rows : quick:bool -> float * int * e18_row list
+(** [(crash_time, victim_node, rows)] — static / restart / adaptive. *)
+
+val run_e18 : quick:bool -> unit
+
+type e19_row = {
+  mtbf : float option;  (** [None] = fault-free reference row *)
+  static_finish : float option;
+  adaptive_makespan : float;
+  throughput : float;
+  e19_failovers : int;
+  e19_lost : int;
+  e19_redispatched : int;
+}
+
+val e19_rows : quick:bool -> e19_row list
+val run_e19 : quick:bool -> unit
+
+type e20_row = {
+  e20_label : string;
+  e20_makespan : float;
+  e20_adaptations : int;
+  final_mapping : int array;
+  final_distinct_nodes : int;
+}
+
+val e20_rows : quick:bool -> e20_row list
+val run_e20 : quick:bool -> unit

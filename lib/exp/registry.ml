@@ -43,7 +43,27 @@ let all =
       run = (fun ~quick -> Exp_multisite.run_e16 ~quick) };
     { id = "E17"; kind = Table; title = "Policy ablation on the dynamic grid";
       run = (fun ~quick -> Exp_policy.run_e17 ~quick) };
+    { id = "E18"; kind = Table; title = "Mid-run node crash: DNF vs restart vs failover";
+      run = (fun ~quick -> Exp_fault.run_e18 ~quick) };
+    { id = "E19"; kind = Table; title = "MTBF sweep under Poisson crash-repair";
+      run = (fun ~quick -> Exp_fault.run_e19 ~quick) };
+    { id = "E20"; kind = Table; title = "Network partition mid-run (blackout, colocate to survive)";
+      run = (fun ~quick -> Exp_fault.run_e20 ~quick) };
   ]
+
+let ids = List.map (fun e -> e.id) all
+
+let to_json () =
+  Aspipe_obs.Json.List
+    (List.map
+       (fun e ->
+         Aspipe_obs.Json.Obj
+           [
+             ("id", Aspipe_obs.Json.String e.id);
+             ("kind", Aspipe_obs.Json.String (match e.kind with Table -> "table" | Figure -> "figure"));
+             ("title", Aspipe_obs.Json.String e.title);
+           ])
+       all)
 
 let find id =
   let target = String.uppercase_ascii id in

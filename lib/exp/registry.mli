@@ -11,7 +11,14 @@ type t = {
 }
 
 val all : t list
-(** E1 … E13 in order. *)
+(** E1 … E20 in order. *)
+
+val ids : string list
+(** The ids of {!all}, in order — the single source every listing surface
+    (CLI [list-experiments], bench [--only]) derives from. *)
+
+val to_json : unit -> Aspipe_obs.Json.t
+(** Machine-readable listing: a JSON array of [{id; kind; title}]. *)
 
 val find : string -> t option
 (** Case-insensitive lookup by id. *)

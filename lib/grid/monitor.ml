@@ -15,11 +15,15 @@ type t = {
   link_forecasters : Forecast.t array array;  (* [src].[dst], diagonal unused *)
   user_link_forecasters : Forecast.t array;
   last : float option array;
+  missed : int array;  (* consecutive unanswered heartbeats per node *)
+  suspect_after : int;
   mutable samples : int;
 }
 
-let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
+let create ?(sensor = default_sensor) ?(suspect_after = 2) ?forecaster ~rng ~every ~horizon
+    topo =
   if every <= 0.0 then invalid_arg "Monitor.create: period must be positive";
+  if suspect_after < 1 then invalid_arg "Monitor.create: suspect_after must be at least 1";
   let make_forecaster =
     match forecaster with Some f -> f | None -> fun () -> Forecast.adaptive ~fallback:1.0 ()
   in
@@ -32,6 +36,8 @@ let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
       link_forecasters = Array.init n (fun _ -> Array.init n (fun _ -> make_forecaster ()));
       user_link_forecasters = Array.init n (fun _ -> make_forecaster ());
       last = Array.make n None;
+      missed = Array.make n 0;
+      suspect_after;
       samples = 0;
     }
   in
@@ -50,16 +56,28 @@ let create ?(sensor = default_sensor) ?forecaster ~rng ~every ~horizon topo =
   in
   Engine.periodic engine ~every (fun () ->
       for i = 0 to n - 1 do
-        (match sense (Node.availability (Topology.node topo i)) with
-        | Some observed ->
-            Aspipe_obs.Bus.emit bus (Event.Monitor_sample { subject = Event.Node i; observed });
-            Aspipe_obs.Bus.emit bus
-              (Event.Forecast_update
-                 { subject = Event.Node i; predicted = Forecast.predict t.forecasters.(i); observed });
-            Forecast.observe t.forecasters.(i) observed;
-            t.last.(i) <- Some observed;
-            t.samples <- t.samples + 1
-        | None -> ());
+        (* Heartbeat first: a crashed node does not answer its sensor at
+           all — no sample, no rng draws — and each silent period counts
+           toward failure suspicion. *)
+        (if not (Node.up (Topology.node topo i)) then t.missed.(i) <- t.missed.(i) + 1
+         else begin
+           t.missed.(i) <- 0;
+           match sense (Node.availability (Topology.node topo i)) with
+           | Some observed ->
+               Aspipe_obs.Bus.emit bus
+                 (Event.Monitor_sample { subject = Event.Node i; observed });
+               Aspipe_obs.Bus.emit bus
+                 (Event.Forecast_update
+                    {
+                      subject = Event.Node i;
+                      predicted = Forecast.predict t.forecasters.(i);
+                      observed;
+                    });
+               Forecast.observe t.forecasters.(i) observed;
+               t.last.(i) <- Some observed;
+               t.samples <- t.samples + 1
+           | None -> ()
+         end);
         (match sense (Link.quality (Topology.user_link topo i)) with
         | Some observed ->
             Aspipe_obs.Bus.emit bus
@@ -96,4 +114,12 @@ let user_link_forecast t i = clamp01 (Forecast.predict t.user_link_forecasters.(
 
 let last_observation t i = t.last.(i)
 let samples_taken t = t.samples
+let suspected t i = t.missed.(i) >= t.suspect_after
+
+let suspects t =
+  let acc = ref [] in
+  for i = Array.length t.missed - 1 downto 0 do
+    if suspected t i then acc := i :: !acc
+  done;
+  !acc
 let forecast_error t i = Forecast.mae t.forecasters.(i)

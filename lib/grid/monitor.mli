@@ -21,6 +21,7 @@ val perfect_sensor : sensor_spec
 
 val create :
   ?sensor:sensor_spec ->
+  ?suspect_after:int ->
   ?forecaster:(unit -> Aspipe_util.Forecast.t) ->
   rng:Aspipe_util.Rng.t ->
   every:float ->
@@ -28,7 +29,13 @@ val create :
   Topology.t ->
   t
 (** Starts sampling immediately and stops after [horizon]. The default
-    forecaster factory is [Forecast.adaptive ~fallback:1.0]. *)
+    forecaster factory is [Forecast.adaptive ~fallback:1.0].
+
+    A down node does not answer its sensor: no sample arrives and a
+    heartbeat is counted as missed. After [suspect_after] consecutive
+    misses (default 2, must be ≥ 1) the node is {!suspected} — the
+    monitor's failure-detection verdict, which stays advisory (the monitor
+    never acts on it itself). *)
 
 val every : t -> float
 
@@ -47,6 +54,13 @@ val last_observation : t -> int -> float option
 (** Most recent raw (noisy) sample, if any. *)
 
 val samples_taken : t -> int
+
+val suspected : t -> int -> bool
+(** Whether node [i] has missed [suspect_after] or more consecutive
+    heartbeats. Cleared as soon as the node answers again. *)
+
+val suspects : t -> int list
+(** All currently suspected nodes, ascending. *)
 
 val forecast_error : t -> int -> float
 (** Running MAE of the node's forecaster ([nan] with < 2 samples). *)

@@ -5,8 +5,10 @@ module Server = Aspipe_des.Server
 type t = {
   id : int;
   name : string;
+  engine : Engine.t;
   base_speed : float;
   availability : Signal.t;
+  up_signal : Signal.t;  (* 1.0 = up, 0.0 = crashed *)
   rate : Signal.t;
   server : Server.t;
 }
@@ -15,11 +17,18 @@ let create engine ~id ?name ~speed () =
   if speed <= 0.0 then invalid_arg "Node.create: speed must be positive";
   let name = match name with Some n -> n | None -> Printf.sprintf "node%d" id in
   let availability = Signal.create engine 1.0 in
+  let up_signal = Signal.create engine 1.0 in
   let rate = Signal.create engine speed in
-  Signal.subscribe availability (fun ~old_value:_ ~new_value ->
-      Signal.set rate (speed *. new_value));
+  (* The effective rate folds both modulations in; while the node is up the
+     product is numerically [speed × availability] exactly, so fault-free
+     runs are bit-identical to the pre-fault model. *)
+  let rederive () =
+    Signal.set rate (speed *. Signal.get availability *. Signal.get up_signal)
+  in
+  Signal.subscribe availability (fun ~old_value:_ ~new_value:_ -> rederive ());
+  Signal.subscribe up_signal (fun ~old_value:_ ~new_value:_ -> rederive ());
   let server = Server.create engine ~name ~rate in
-  { id; name; base_speed = speed; availability; rate; server }
+  { id; name; engine; base_speed = speed; availability; up_signal; rate; server }
 
 let id t = t.id
 let name t = t.name
@@ -30,6 +39,21 @@ let set_availability t a =
   let a = Float.min 1.0 (Float.max 0.0 a) in
   Signal.set t.availability a
 
+let up t = Signal.get t.up_signal > 0.5
+
+let set_up t v =
+  let was = up t in
+  if v <> was then begin
+    Signal.set t.up_signal (if v then 1.0 else 0.0);
+    let bus = Engine.bus t.engine in
+    if v then Aspipe_obs.Bus.emit bus (Aspipe_obs.Event.Node_recovered { node = t.id })
+    else Aspipe_obs.Bus.emit bus (Aspipe_obs.Event.Node_crashed { node = t.id })
+  end
+
+let subscribe_up t f =
+  Signal.subscribe t.up_signal (fun ~old_value:_ ~new_value -> f ~up:(new_value > 0.5))
+
 let effective_rate t = Signal.get t.rate
 let server t = t.server
 let availability_history t = Signal.history t.availability
+let up_history t = Signal.history t.up_signal

@@ -54,7 +54,8 @@ let subscribe t bus =
                { at = event.time; mapping_before; mapping_after; predicted_gain; migration_cost }
          | Event.Service_start _ | Event.Queue_sample _ | Event.Calibration_sample _
          | Event.Monitor_sample _ | Event.Forecast_update _ | Event.Adaptation_considered _
-         | Event.Adaptation_rejected _ ->
+         | Event.Adaptation_rejected _ | Event.Node_crashed _ | Event.Node_recovered _
+         | Event.Item_lost _ | Event.Item_redispatched _ | Event.Failover_committed _ ->
              ()))
 
 let completions t = Array.of_list (List.rev t.completions)

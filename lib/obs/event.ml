@@ -31,6 +31,15 @@ type payload =
       migration_cost : float;
     }
   | Adaptation_rejected of { mapping : int array; observed_throughput : float }
+  | Node_crashed of { node : int }
+  | Node_recovered of { node : int }
+  | Item_lost of { item : int; stage : int; node : int }
+  | Item_redispatched of { item : int; stage : int; node : int }
+  | Failover_committed of {
+      mapping_before : int array;
+      mapping_after : int array;
+      items_redispatched : int;
+    }
 
 type t = { time : float; seq : int; payload : payload }
 
@@ -46,6 +55,11 @@ let kind = function
   | Adaptation_considered _ -> "adaptation_considered"
   | Adaptation_committed _ -> "adaptation_committed"
   | Adaptation_rejected _ -> "adaptation_rejected"
+  | Node_crashed _ -> "node_crashed"
+  | Node_recovered _ -> "node_recovered"
+  | Item_lost _ -> "item_lost"
+  | Item_redispatched _ -> "item_redispatched"
+  | Failover_committed _ -> "failover_committed"
 
 let pp_subject ppf = function
   | Node i -> Format.fprintf ppf "node %d" i
@@ -83,5 +97,14 @@ let pp ppf t =
       Format.fprintf ppf " %a -> %a gain %.4f cost %.4f" pp_mapping mapping_before pp_mapping
         mapping_after predicted_gain migration_cost
   | Adaptation_rejected { mapping; observed_throughput } ->
-      Format.fprintf ppf " mapping %a observed %.4f" pp_mapping mapping observed_throughput);
+      Format.fprintf ppf " mapping %a observed %.4f" pp_mapping mapping observed_throughput
+  | Node_crashed { node } -> Format.fprintf ppf " node %d" node
+  | Node_recovered { node } -> Format.fprintf ppf " node %d" node
+  | Item_lost { item; stage; node } ->
+      Format.fprintf ppf " item %d stage %d node %d" item stage node
+  | Item_redispatched { item; stage; node } ->
+      Format.fprintf ppf " item %d stage %d node %d" item stage node
+  | Failover_committed { mapping_before; mapping_after; items_redispatched } ->
+      Format.fprintf ppf " %a -> %a redispatched %d" pp_mapping mapping_before pp_mapping
+        mapping_after items_redispatched);
   Format.fprintf ppf "@]"

@@ -47,6 +47,20 @@ type payload =
     }
   | Adaptation_rejected of { mapping : int array; observed_throughput : float }
       (** the policy answered [Keep] *)
+  | Node_crashed of { node : int }
+      (** the node went down: distinct from availability 0 — its in-service
+          and queued items are gone *)
+  | Node_recovered of { node : int }  (** the node rejoined the grid *)
+  | Item_lost of { item : int; stage : int; node : int }
+      (** the item was in service or queued at [stage] when [node] crashed *)
+  | Item_redispatched of { item : int; stage : int; node : int }
+      (** a lost item was re-entered at [stage] (now on [node]) from the
+          per-stage checkpoint *)
+  | Failover_committed of {
+      mapping_before : int array;
+      mapping_after : int array;
+      items_redispatched : int;
+    }  (** orphaned stages were re-mapped to survivors *)
 
 type t = { time : float; seq : int; payload : payload }
 

@@ -54,6 +54,18 @@ let payload_fields = function
         ("mapping", json_of_mapping mapping);
         ("observed_throughput", Json.Float observed_throughput);
       ]
+  | Event.Node_crashed { node } -> [ ("node", Json.Int node) ]
+  | Event.Node_recovered { node } -> [ ("node", Json.Int node) ]
+  | Event.Item_lost { item; stage; node } ->
+      [ ("item", Json.Int item); ("stage", Json.Int stage); ("node", Json.Int node) ]
+  | Event.Item_redispatched { item; stage; node } ->
+      [ ("item", Json.Int item); ("stage", Json.Int stage); ("node", Json.Int node) ]
+  | Event.Failover_committed { mapping_before; mapping_after; items_redispatched } ->
+      [
+        ("mapping_before", json_of_mapping mapping_before);
+        ("mapping_after", json_of_mapping mapping_after);
+        ("items_redispatched", Json.Int items_redispatched);
+      ]
 
 let json_of_event (event : Event.t) =
   Json.Obj

@@ -47,6 +47,14 @@ let on_event t (event : Event.t) =
       Metrics.Gauge.add (gauge "adaptations.predicted_gain") predicted_gain;
       Metrics.Gauge.add (gauge "adaptations.migration_cost") migration_cost
   | Event.Adaptation_rejected _ -> Metrics.Counter.incr (counter "adaptations.rejected")
+  | Event.Node_crashed _ -> Metrics.Counter.incr (counter "faults.node_crashes")
+  | Event.Node_recovered _ -> Metrics.Counter.incr (counter "faults.node_recoveries")
+  | Event.Item_lost _ -> Metrics.Counter.incr (counter "items.lost")
+  | Event.Item_redispatched _ -> Metrics.Counter.incr (counter "items.redispatched")
+  | Event.Failover_committed { items_redispatched; _ } ->
+      Metrics.Counter.incr (counter "failovers.committed");
+      Metrics.Gauge.add (gauge "failovers.items_redispatched")
+        (Float.of_int items_redispatched)
 
 let attach ?registry bus =
   let reg = match registry with Some r -> r | None -> Metrics.create () in

@@ -104,6 +104,31 @@ let to_json t =
                          ("migration_cost", Json.Float migration_cost);
                        ] );
                  ])
+        | Event.Node_crashed { node } ->
+            note_node node;
+            Some
+              (base ~name:"node crashed" ~cat:"fault" ~ph:"i" ~ts:event.time ~pid:grid_pid
+                 ~tid:node
+                 [ ("s", Json.String "g"); ("args", Json.Obj [ ("node", Json.Int node) ]) ])
+        | Event.Node_recovered { node } ->
+            note_node node;
+            Some
+              (base ~name:"node recovered" ~cat:"fault" ~ph:"i" ~ts:event.time ~pid:grid_pid
+                 ~tid:node
+                 [ ("s", Json.String "g"); ("args", Json.Obj [ ("node", Json.Int node) ]) ])
+        | Event.Failover_committed { mapping_before; mapping_after; items_redispatched } ->
+            Some
+              (base ~name:"failover" ~cat:"fault" ~ph:"i" ~ts:event.time ~pid:grid_pid ~tid:0
+                 [
+                   ("s", Json.String "g");
+                   ( "args",
+                     Json.Obj
+                       [
+                         ("mapping_before", mapping_json mapping_before);
+                         ("mapping_after", mapping_json mapping_after);
+                         ("items_redispatched", Json.Int items_redispatched);
+                       ] );
+                 ])
         | Event.Monitor_sample { subject = Event.Node i; observed } ->
             note_node i;
             Some
@@ -113,7 +138,7 @@ let to_json t =
                  [ ("args", Json.Obj [ ("availability", Json.Float observed) ]) ])
         | Event.Service_start _ | Event.Queue_sample _ | Event.Calibration_sample _
         | Event.Monitor_sample _ | Event.Forecast_update _ | Event.Adaptation_considered _
-        | Event.Adaptation_rejected _ ->
+        | Event.Adaptation_rejected _ | Event.Item_lost _ | Event.Item_redispatched _ ->
             None)
       events
   in

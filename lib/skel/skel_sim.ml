@@ -17,7 +17,17 @@ type stage_state = {
   waiting_deliveries : (unit -> unit) Queue.t;
       (* deliveries parked because [pending] hit the buffer capacity *)
   mutable busy : bool;  (* an item of this stage is submitted to a server *)
+  mutable in_service : int option;
+      (* the submitted item, until its service finishes; [busy] with
+         [in_service = None] means the output move is in flight *)
   mutable migrating_to : int option;  (* destination of an in-flight migration *)
+  mutable lost : int list;
+      (* items this stage had accepted (per-stage checkpoint) that died in a
+         crash and await re-dispatch; unordered *)
+  mutable replaying : bool;
+      (* a checkpoint replay's bulk transfer is in flight: dispatch is held
+         so the replayed items keep their FIFO place ahead of anything that
+         queued after the crash *)
 }
 
 type t = {
@@ -32,6 +42,8 @@ type t = {
   input : Stream_spec.t;
   queue_capacity : int option;  (* per-stage buffer bound; None = unbounded *)
   mutable completed : int;
+  mutable lost_total : int;
+  mutable redispatched_total : int;
 }
 
 let check_mapping topo stages mapping =
@@ -47,7 +59,8 @@ let check_mapping topo stages mapping =
    order — so every item costs the same under any mapping, buffer capacity or
    adaptation schedule. Comparisons across strategies are therefore paired on
    an identical workload realization, and migrating a stage never re-rolls
-   the work its queued items will cost. *)
+   the work its queued items will cost. The same keying makes a re-dispatched
+   item cost what its lost first attempt did. *)
 let work_for t ~item ~stage =
   match Hashtbl.find_opt t.work_table (item, stage) with
   | Some w -> w
@@ -59,10 +72,15 @@ let work_for t ~item ~stage =
 
 let rec try_dispatch t si =
   let s = t.stages.(si) in
-  if (not s.busy) && s.migrating_to = None && not (Queue.is_empty s.pending) then begin
+  if
+    (not s.busy) && s.migrating_to = None && (not s.replaying)
+    && Node.up (Topology.node t.topo s.node)
+    && not (Queue.is_empty s.pending)
+  then begin
     let item = Queue.pop s.pending in
     Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Queue.length s.pending });
     s.busy <- true;
+    s.in_service <- Some item;
     (* A buffer slot opened: land one parked delivery. This must happen
        after [busy] is set, or the landed delivery's own dispatch attempt
        would start a second concurrent service on this stage. *)
@@ -76,6 +94,7 @@ let rec try_dispatch t si =
         start := Engine.now t.engine;
         Bus.emit t.bus (Event.Service_start { item; stage = si; node = node_idx }))
       (fun () ->
+        s.in_service <- None;
         Bus.emit t.bus
           (Event.Service_finish { item; stage = si; node = node_idx; start = !start });
         (* The output move is part of the stage's cycle — the stage stays
@@ -131,6 +150,108 @@ let inject t ~item =
           Bus.emit t.bus (Event.Queue_sample { stage = 0; depth = Queue.length first.pending });
           try_dispatch t 0))
 
+(* Payload bytes a queued item of stage [si] carries during a migration or a
+   checkpoint re-dispatch: the upstream stage's output (or the user input for
+   the first stage). *)
+let queued_item_bytes t si =
+  if si = 0 then t.input.Stream_spec.item_bytes
+  else t.stages.(si - 1).spec.Stage.output_bytes
+
+(* --- fault semantics ------------------------------------------------- *)
+
+(* Land parked deliveries while buffer room remains. The dispatch path lands
+   one per popped item; this covers the crash path, where draining [pending]
+   frees slots without any dispatch happening. *)
+let rec refill t s =
+  if not (Queue.is_empty s.waiting_deliveries) then begin
+    match t.queue_capacity with
+    | Some capacity when Queue.length s.pending >= capacity -> ()
+    | Some _ | None ->
+        (Queue.pop s.waiting_deliveries) ();
+        refill t s
+  end
+
+(* A crash takes down every stage resident on the node: the in-service item
+   and all queued inputs are gone (fail-stop — no output escapes), recorded
+   per stage so the checkpoint-based re-dispatch can replay exactly them.
+   The queued inputs of a stage already mid-migration survive — their bytes
+   are part of the migration transfer in flight on the network, not on the
+   dying node — but its in-service item still executes locally and dies.
+   An output move already handed to the network also survives — the send
+   happened. *)
+let on_crash t node =
+  Array.iter
+    (fun s ->
+      if s.node = node then begin
+        (match s.in_service with
+        | Some item ->
+            s.in_service <- None;
+            s.busy <- false;
+            s.lost <- item :: s.lost;
+            t.lost_total <- t.lost_total + 1;
+            Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node })
+        | None -> ());
+        if s.migrating_to = None && not (Queue.is_empty s.pending) then begin
+          Queue.iter
+            (fun item ->
+              s.lost <- item :: s.lost;
+              t.lost_total <- t.lost_total + 1;
+              Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node }))
+            s.pending;
+          Queue.clear s.pending;
+          Bus.emit t.bus (Event.Queue_sample { stage = s.index; depth = 0 });
+          refill t s
+        end
+      end)
+    t.stages;
+  ignore (Server.drop_all (Node.server (Topology.node t.topo node)))
+
+(* Re-dispatch a stage's lost items from the per-stage checkpoint: their
+   payloads are re-fetched from the upstream stage (the user site for stage
+   0) in one bulk transfer, then prepended to the pending queue. Prepending
+   preserves the pipeline's FIFO order: each single-server stage emits in
+   item order, so everything downstream of the crash point carries smaller
+   ids than every lost item, and anything that landed in [pending] after the
+   crash carries larger ids. *)
+let restore_stage t si =
+  let s = t.stages.(si) in
+  (* Only replay onto a live node; a dead destination keeps the checkpoint
+     until a later recovery or failover finds the stage a live home. *)
+  if s.lost <> [] && Node.up (Topology.node t.topo s.node) then begin
+    let items = List.sort compare s.lost in
+    s.lost <- [];
+    let bytes = Float.of_int (List.length items) *. queued_item_bytes t si in
+    let link =
+      if si = 0 then Topology.user_link t.topo s.node
+      else Topology.link t.topo ~src:t.stages.(si - 1).node ~dst:s.node
+    in
+    s.replaying <- true;
+    Link.transfer link ~bytes (fun () ->
+        s.replaying <- false;
+        let replay = Queue.create () in
+        List.iter (fun item -> Queue.push item replay) items;
+        Queue.transfer s.pending replay;
+        Queue.transfer replay s.pending;
+        List.iter
+          (fun item ->
+            t.redispatched_total <- t.redispatched_total + 1;
+            Bus.emit t.bus (Event.Item_redispatched { item; stage = si; node = s.node }))
+          items;
+        Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Queue.length s.pending });
+        try_dispatch t si)
+  end
+
+(* Naive same-node recovery: when a node rejoins, each stage still mapped to
+   it replays its lost items where it stands. *)
+let on_recover t node =
+  Array.iteri
+    (fun si s ->
+      if s.node = node && s.migrating_to = None then begin
+        restore_stage t si;
+        try_dispatch t si
+      end)
+    t.stages
+
 let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
   check_mapping topo stages mapping;
   if Array.length stages = 0 then invalid_arg "Skel_sim: empty pipeline";
@@ -159,7 +280,10 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
               pending = Queue.create ();
               waiting_deliveries = Queue.create ();
               busy = false;
+              in_service = None;
               migrating_to = None;
+              lost = [];
+              replaying = false;
             })
           stages;
       work_table = Hashtbl.create 1024;
@@ -167,8 +291,18 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
       input;
       queue_capacity;
       completed = 0;
+      lost_total = 0;
+      redispatched_total = 0;
     }
   in
+  (* React to fault events already ordered on the bus: the crash/recovery
+     event precedes the item-loss / re-dispatch events it causes. *)
+  ignore
+    (Bus.subscribe t.bus (fun (event : Event.t) ->
+         match event.Event.payload with
+         | Event.Node_crashed { node } -> on_crash t node
+         | Event.Node_recovered { node } -> on_recover t node
+         | _ -> ()));
   let arrivals = Stream_spec.arrival_times input rng in
   Array.iteri
     (fun item time -> ignore (Engine.schedule_at engine ~time (fun () -> inject t ~item)))
@@ -176,12 +310,6 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
   t
 
 let mapping t = Array.map (fun s -> s.node) t.stages
-
-(* Payload bytes a queued item of stage [si] carries during a migration: the
-   upstream stage's output (or the user input for the first stage). *)
-let queued_item_bytes t si =
-  if si = 0 then t.input.Stream_spec.item_bytes
-  else t.stages.(si - 1).spec.Stage.output_bytes
 
 let remap t new_mapping =
   check_mapping t.topo (Array.map (fun s -> s.spec) t.stages) new_mapping;
@@ -208,10 +336,57 @@ let remap t new_mapping =
         Link.transfer link ~bytes (fun () ->
             s.node <- dst;
             s.migrating_to <- None;
+            (* Landing on a live node replays any checkpointed losses. *)
+            restore_stage t s.index;
             try_dispatch t s.index)
       end)
     t.stages;
   !total
+
+let failover t new_mapping =
+  check_mapping t.topo (Array.map (fun s -> s.spec) t.stages) new_mapping;
+  Array.iter
+    (fun s ->
+      match s.migrating_to with
+      | Some dest when new_mapping.(s.index) <> dest ->
+          invalid_arg "Skel_sim.failover: stage already migrating"
+      | Some _ | None -> ())
+    t.stages;
+  Array.iter
+    (fun s ->
+      let dst = new_mapping.(s.index) in
+      if dst <> s.node && s.migrating_to = None then begin
+        if Node.up (Topology.node t.topo s.node) then begin
+          (* Live source: an ordinary state migration. *)
+          let src = s.node in
+          let bytes =
+            s.spec.Stage.state_bytes
+            +. (Float.of_int (Queue.length s.pending) *. queued_item_bytes t s.index)
+          in
+          s.migrating_to <- Some dst;
+          let link = Topology.link t.topo ~src ~dst in
+          Link.transfer link ~bytes (fun () ->
+              s.node <- dst;
+              s.migrating_to <- None;
+              restore_stage t s.index;
+              try_dispatch t s.index)
+        end
+        else begin
+          (* Dead source: there is no state to fetch from the corpse. The
+             stage is re-instantiated at [dst] immediately and its lost
+             items are re-dispatched from the checkpoint (their payloads
+             re-fetched from upstream by [restore_stage]). *)
+          s.node <- dst;
+          Bus.emit t.bus (Event.Queue_sample { stage = s.index; depth = Queue.length s.pending });
+          restore_stage t s.index;
+          try_dispatch t s.index
+        end
+      end
+      else if dst = s.node && Node.up (Topology.node t.topo s.node) then begin
+        restore_stage t s.index;
+        try_dispatch t s.index
+      end)
+    t.stages
 
 let migrating t = Array.exists (fun s -> s.migrating_to <> None) t.stages
 
@@ -219,16 +394,60 @@ let items_total t = t.input.Stream_spec.items
 let items_completed t = t.completed
 let finished t = t.completed = items_total t
 
-let run_to_completion ?(max_time = 1e7) t =
+let lost_items t =
+  List.sort compare (Array.fold_left (fun acc s -> s.lost @ acc) [] t.stages)
+
+let items_lost_total t = t.lost_total
+let items_redispatched_total t = t.redispatched_total
+
+(* The stall watchdog's report: which stage holds what, where, and whether a
+   dead node explains the stall — so a fault-induced DNF reads differently
+   from a modelling bug. *)
+let describe_stall t reason =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "Skel_sim: %s at t=%.2f with %d/%d items completed" reason
+       (Engine.now t.engine) t.completed (items_total t));
+  let dead_holds = ref false in
+  Array.iter
+    (fun s ->
+      let node_up = Node.up (Topology.node t.topo s.node) in
+      if not node_up then dead_holds := true;
+      Buffer.add_string b
+        (Printf.sprintf "\n  stage %d (%s) on node %d [%s]: %s%s, %d queued, %d parked, %d lost"
+           s.index s.spec.Stage.name s.node
+           (if node_up then "up" else "DOWN")
+           (if s.busy then
+              match s.in_service with
+              | Some item -> Printf.sprintf "serving item %d" item
+              | None -> "busy (output move in flight)"
+            else "idle")
+           (match s.migrating_to with
+           | Some d -> Printf.sprintf ", migrating to node %d" d
+           | None -> "")
+           (Queue.length s.pending)
+           (Queue.length s.waiting_deliveries)
+           (List.length s.lost)))
+    t.stages;
+  if !dead_holds then
+    Buffer.add_string b
+      "\n  a DOWN node holds a stage: fault-induced stall (DNF) — recovery or failover is \
+       required to finish, this is not a modelling bug";
+  Buffer.contents b
+
+let run ?(max_time = 1e7) t =
   let rec loop () =
-    if finished t then ()
+    if finished t then `Completed
     else if Engine.now t.engine > max_time then
-      failwith "Skel_sim.run_to_completion: exceeded max_time before draining"
+      `Stalled (describe_stall t "exceeded max_time before draining")
     else if Engine.step t.engine then loop ()
-    else if not (finished t) then
-      failwith "Skel_sim.run_to_completion: event queue drained with items in flight"
+    else if finished t then `Completed
+    else `Stalled (describe_stall t "event queue drained with items in flight")
   in
   loop ()
+
+let run_to_completion ?max_time t =
+  match run ?max_time t with `Completed -> () | `Stalled message -> failwith message
 
 let execute ?(rng = Rng.create 42) ?queue_capacity ~topo ~stages ~mapping ~input () =
   let trace = Trace.create () in

@@ -15,6 +15,24 @@
       its state (plus queued item payloads) crosses the old→new link, then it
       resumes at the new node. An in-flight service finishes on the old node.
 
+    Fault semantics (driven by {!Aspipe_grid.Node.set_up} transitions, which
+    the simulator observes through the engine bus):
+
+    - a {e crash} loses exactly the items in service and queued at the
+      node's stages (fail-stop): they are recorded in a per-stage
+      checkpoint (the set of accepted-but-unfinished item ids) and an
+      {!Aspipe_obs.Event.Item_lost} is emitted per item. Outputs already
+      handed to the network, state mid-migration, and queued inputs of a
+      mid-migration stage survive — their bytes are in flight, not on the
+      dying node;
+    - a {e recovery} replays each resident stage's checkpoint in place:
+      lost payloads are re-fetched from upstream in one bulk transfer and
+      re-enter the pending queue ahead of later arrivals, preserving the
+      pipeline's FIFO order ({!Aspipe_obs.Event.Item_redispatched} each);
+    - {!failover} re-maps stages away from dead nodes without touching the
+      corpse: the stage is re-instantiated at its new node and its
+      checkpoint replayed there.
+
     The executor never looks at ground-truth availability — only the
     simulated clock — so adaptive policies on top of it are honestly
     evaluated against imperfect information. *)
@@ -48,16 +66,43 @@ val remap : t -> int array -> float
     where they are. Re-entrant migrations to a stage already moving are
     rejected with [Invalid_argument]. *)
 
+val failover : t -> int array -> unit
+(** [failover t m] re-maps stages like {!remap}, but tolerates dead source
+    nodes: a stage whose node is down is re-instantiated at its new node
+    immediately (no state crosses a link out of the corpse) and its lost
+    items are re-dispatched from the per-stage checkpoint. Stages moving
+    between live nodes migrate normally; stages staying put on a live node
+    replay any checkpointed losses. Raises [Invalid_argument] like
+    {!remap} on conflicting in-flight migrations. *)
+
 val migrating : t -> bool
 
 val items_total : t -> int
 val items_completed : t -> int
 val finished : t -> bool
 
+val lost_items : t -> int list
+(** Item ids currently checkpointed as lost and awaiting re-dispatch,
+    ascending. Empty in fault-free runs and after every loss has been
+    replayed. *)
+
+val items_lost_total : t -> int
+(** Cumulative count of item-loss events (an item lost twice counts
+    twice). *)
+
+val items_redispatched_total : t -> int
+
+val run : ?max_time:float -> t -> [ `Completed | `Stalled of string ]
+(** Steps the engine until every item has left the pipeline, [max_time]
+    virtual seconds elapse (default [1e7]), or the event queue drains with
+    items still in flight. The [`Stalled] diagnostic names each stage, its
+    node and liveness, what it is doing, and its queue/parked/lost depths —
+    and says explicitly when a DOWN node holding a stage makes the stall a
+    fault-induced DNF rather than a modelling bug. *)
+
 val run_to_completion : ?max_time:float -> t -> unit
-(** Steps the engine until every item has left the pipeline (or [max_time]
-    virtual seconds elapse — default [1e7] — which raises [Failure], since a
-    finite workload that fails to drain indicates a modelling bug). *)
+(** {!run}, raising [Failure] with the stall diagnostic on [`Stalled] —
+    for callers that treat a non-draining workload as a bug. *)
 
 val execute :
   ?rng:Aspipe_util.Rng.t ->

@@ -13,12 +13,36 @@ let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
 (* ------------------------------------------------------------- Registry *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "seventeen experiments" 17 (List.length Registry.all);
+  Alcotest.(check int) "twenty experiments" 20 (List.length Registry.all);
   let ids = List.map (fun e -> e.Registry.id) Registry.all in
-  Alcotest.(check int) "ids unique" 17 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "ids unique" 20 (List.length (List.sort_uniq compare ids));
   List.iteri
     (fun i id -> Alcotest.(check string) "ordered ids" (Printf.sprintf "E%d" (i + 1)) id)
     ids
+
+(* Every listing surface must derive from the registry: the id list, the
+   JSON rendering and [find] have to agree entry for entry, or the CLI's
+   list-experiments and bench --only drift apart. *)
+let test_registry_single_source () =
+  Alcotest.(check (list string))
+    "ids mirror all" (List.map (fun e -> e.Registry.id) Registry.all) Registry.ids;
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e -> Alcotest.(check string) "find agrees with ids" id e.Registry.id
+      | None -> Alcotest.fail (Printf.sprintf "listed id %s not findable" id))
+    Registry.ids;
+  match Registry.to_json () with
+  | Aspipe_obs.Json.List entries ->
+      Alcotest.(check int) "json entry per experiment" (List.length Registry.ids)
+        (List.length entries);
+      List.iter2
+        (fun id entry ->
+          match Aspipe_obs.Json.member "id" entry with
+          | Some (Aspipe_obs.Json.String j) -> Alcotest.(check string) "json id" id j
+          | _ -> Alcotest.fail "json entry lacks an id field")
+        Registry.ids entries
+  | _ -> Alcotest.fail "to_json is not a list"
 
 let test_registry_find () =
   (match Registry.find "e3" with
@@ -118,6 +142,7 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "single source" `Quick test_registry_single_source;
           Alcotest.test_case "find" `Quick test_registry_find;
         ] );
       ( "common",

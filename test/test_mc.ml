@@ -57,6 +57,38 @@ let test_run_timed_returns_outputs () =
   Alcotest.(check (list int)) "outputs intact" (Skel_mc.run_seq int_chain [ 1; 2; 3 ]) outputs;
   Alcotest.(check bool) "time non-negative" true (seconds >= 0.0)
 
+(* ------------------------------------------------------------ edge cases *)
+
+(* The degenerate shapes every backend must get right: a pipe of one stage
+   (no inter-stage channel at all), nothing flowing through any backend,
+   and the whole chain fused into a single group under the tightest
+   back-pressure — each asserting output order, not just content. *)
+
+let single_stage = Pipe.last (fun x -> x + 1)
+
+let test_single_stage_pipe () =
+  let inputs = List.init 40 Fun.id in
+  let expected = List.map (fun x -> x + 1) inputs in
+  Alcotest.(check (list int)) "run_seq" expected (Skel_mc.run_seq single_stage inputs);
+  Alcotest.(check (list int)) "run" expected (Skel_mc.run single_stage inputs);
+  Alcotest.(check (list int)) "run, capacity 1" expected
+    (Skel_mc.run ~capacity:1 single_stage inputs);
+  Alcotest.(check (list int)) "run_grouped, one group" expected
+    (Skel_mc.run_grouped ~groups:[| 0 |] single_stage inputs)
+
+let test_empty_every_backend () =
+  Alcotest.(check (list int)) "run" [] (Skel_mc.run int_chain []);
+  Alcotest.(check (list int)) "run, capacity 1" [] (Skel_mc.run ~capacity:1 int_chain []);
+  Alcotest.(check (list int)) "run_grouped" []
+    (Skel_mc.run_grouped ~groups:[| 0; 0; 0; 0 |] int_chain []);
+  Alcotest.(check (list int)) "single stage" [] (Skel_mc.run single_stage [])
+
+let test_one_group_capacity_one_order () =
+  let inputs = List.init 80 (fun i -> 79 - i) in
+  let expected = List.map (Pipe.apply int_chain) inputs in
+  Alcotest.(check (list int)) "everything fused on one domain, capacity 1" expected
+    (Skel_mc.run_grouped ~capacity:1 ~groups:[| 0; 0; 0; 0 |] int_chain inputs)
+
 (* ----------------------------------------------------------------- Farm *)
 
 let test_farm_matches_map =
@@ -121,6 +153,9 @@ let () =
           Alcotest.test_case "grouped" `Quick test_run_grouped_matches;
           Alcotest.test_case "heterogeneous types" `Quick test_run_heterogeneous_types;
           Alcotest.test_case "timed" `Quick test_run_timed_returns_outputs;
+          Alcotest.test_case "single-stage pipe" `Quick test_single_stage_pipe;
+          Alcotest.test_case "empty on every backend" `Quick test_empty_every_backend;
+          Alcotest.test_case "one group, capacity 1" `Quick test_one_group_capacity_one_order;
         ] );
       ( "farm",
         [
