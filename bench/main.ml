@@ -1,11 +1,20 @@
 (* The benchmark harness: regenerates every reconstructed table and figure
-   (the full registry, E1..E20) and then runs Bechamel micro-benchmarks of
-   the decision path —
+   (the full registry, E1..E20) through the multicore campaign runner, then
+   runs Bechamel micro-benchmarks of the decision path —
    the components whose speed makes run-time adaptation viable at all.
 
    Usage: dune exec bench/main.exe            (full experiment sizes)
           dune exec bench/main.exe -- --quick (reduced sizes, same shapes)
           dune exec bench/main.exe -- --only E3,E9
+          dune exec bench/main.exe -- --jobs 4    (worker domains; default =
+                                                   recommended domain count;
+                                                   output is byte-identical
+                                                   to --jobs 1)
+          dune exec bench/main.exe -- --cache DIR (content-addressed result
+                                                   cache: unchanged
+                                                   experiments of an
+                                                   unchanged binary replay
+                                                   from disk)
           dune exec bench/main.exe -- --skip-micro *)
 
 open Bechamel
@@ -141,25 +150,32 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let skip_micro = List.mem "--skip-micro" args in
-  let only =
+  let flag_value name =
     let rec find = function
-      | "--only" :: spec :: _ -> Some (String.split_on_char ',' spec)
+      | key :: value :: _ when key = name -> Some value
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
-  (match only with
-  | None -> Aspipe_exp.Registry.run_all ~quick
-  | Some ids ->
-      List.iter
-        (fun id ->
-          match Aspipe_exp.Registry.find id with
-          | Some e ->
-              Printf.printf "######## %s: %s ########\n" e.Aspipe_exp.Registry.id
-                e.Aspipe_exp.Registry.title;
-              e.Aspipe_exp.Registry.run ~quick
-          | None -> Printf.eprintf "unknown experiment id: %s\n" id)
-        ids);
+  let only = Option.map (String.split_on_char ',') (flag_value "--only") in
+  let jobs =
+    match flag_value "--jobs" with
+    | None -> Aspipe_runner.Campaign.default_jobs ()
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> j
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" v;
+            exit 2)
+  in
+  let cache_dir = flag_value "--cache" in
+  (match Aspipe_runner.Campaign.run ~jobs ?cache_dir ?only ~quick () with
+  | report ->
+      Aspipe_runner.Campaign.print_outputs report;
+      Aspipe_runner.Campaign.print_summary report
+  | exception Invalid_argument msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2);
   if not skip_micro then run_micro ();
   run_metrics_snapshot ~quick

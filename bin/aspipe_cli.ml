@@ -3,6 +3,7 @@
    Subcommands:
      list-experiments        enumerate the reconstructed tables/figures
      experiment <id>         regenerate one (or `all`)
+     campaign                run the registry through the multicore runner
      simulate                run an ad-hoc adaptive-vs-static comparison
      trace-export            run a scenario and export Perfetto/JSONL telemetry
      metrics                 run a scenario and print the metrics snapshot
@@ -79,6 +80,49 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one experiment (or all)")
     Term.(ret (const run_experiment $ quick_arg $ id_arg))
+
+(* --------------------------------------------------------------- campaign *)
+
+let campaign quick jobs only cache_dir summary_only =
+  match
+    Aspipe_runner.Campaign.run
+      ?jobs ?cache_dir
+      ?only:(Option.map (String.split_on_char ',') only)
+      ~quick ()
+  with
+  | report ->
+      if not summary_only then Aspipe_runner.Campaign.print_outputs report;
+      Aspipe_runner.Campaign.print_summary report;
+      `Ok ()
+  | exception Invalid_argument msg -> `Error (false, msg)
+
+let campaign_cmd =
+  let jobs =
+    Arg.(value
+        & opt (some int) None
+        & info [ "jobs"; "j" ] ~docv:"N"
+            ~doc:"Worker domains (default: the recommended domain count). Output is \
+                  byte-identical whatever the value.")
+  in
+  let only =
+    Arg.(value
+        & opt (some string) None
+        & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids, e.g. $(b,E1,E18).")
+  in
+  let cache_dir =
+    Arg.(value
+        & opt (some string) None
+        & info [ "cache-dir" ] ~docv:"DIR"
+            ~doc:"Content-addressed result cache: unchanged experiments of an unchanged binary \
+                  replay from disk.")
+  in
+  let summary_only =
+    Arg.(value & flag & info [ "summary-only" ] ~doc:"Print only the runner summary, not the experiment outputs.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the experiment registry in parallel on a domain pool (deterministic output)")
+    Term.(ret (const campaign $ quick_arg $ jobs $ only $ cache_dir $ summary_only))
 
 (* --------------------------------------------------------------- simulate *)
 
@@ -460,6 +504,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; experiment_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; faults_cmd;
+            list_cmd; experiment_cmd; campaign_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; faults_cmd;
             farm_cmd; replicate_cmd; calibrate_cmd; forecast_cmd; export_pepa_cmd;
           ]))

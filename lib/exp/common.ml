@@ -64,3 +64,22 @@ let spearman a b =
 let scale ~quick n = if quick then max 20 (n / 5) else n
 
 let mean_ci values = Stats.confidence95 (Array.of_list values)
+
+(* --------------------------------------------------- replication splitting *)
+
+(* Experiments hand their independent replications / sweep points to
+   [par_map]; by default it is [List.map], and the campaign runner installs
+   a pool-backed implementation so sweep points run on worker domains.
+   Results come back by index, so installing a parallel implementation can
+   never reorder a table. *)
+
+type par_map_impl = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let sequential_par_map = { pmap = (fun f xs -> List.map f xs) }
+
+let par_map_hook = ref sequential_par_map
+
+let set_par_map impl = par_map_hook := impl
+let reset_par_map () = par_map_hook := sequential_par_map
+
+let par_map f xs = !par_map_hook.pmap f xs

@@ -37,3 +37,21 @@ val scale : quick:bool -> int -> int
 
 val mean_ci : float list -> float * float
 (** Mean and 95% half-width. *)
+
+type par_map_impl = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** A polymorphic map — the replication-splitting hook. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Map over independent replications or sweep points. [List.map] by
+    default; the campaign runner installs a domain-pool implementation.
+    Results are returned by index regardless of completion order, so the
+    body must be self-contained (its own [Rng] from an explicit seed, no
+    printing, no shared mutable state) and the output is then identical to
+    the sequential map. *)
+
+val set_par_map : par_map_impl -> unit
+(** Install a parallel implementation (done once by the campaign runner
+    before any worker starts). *)
+
+val reset_par_map : unit -> unit
+(** Back to [List.map]. *)

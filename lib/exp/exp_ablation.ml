@@ -122,7 +122,7 @@ let run_e13 ~quick =
   (match rows with
   | first :: _ ->
       let last = List.nth rows (List.length rows - 1) in
-      Printf.printf
+      Aspipe_util.Out.printf
         "reference evaluators: ctmc %.3f (bufferless), analytic %.3f (saturation bound)\n\
          capacity 1 sits at %.0f%% of ctmc; unbounded reaches %.0f%% of analytic\n\n"
         first.ctmc first.analytic
@@ -144,4 +144,4 @@ let run_e13 ~quick =
         ])
     (solver_rows ~quick);
   Render.Table.print solver_table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -75,9 +75,9 @@ let run_e3 ~quick =
     ~x_label:"time (s)" ~y_label:"items/s"
     (List.map (fun r -> Render.Series.make r.label r.series) results);
   List.iter
-    (fun r -> Printf.printf "%-32s makespan %8.1f s, %d adaptation(s)\n" r.label r.makespan r.adaptations)
+    (fun r -> Aspipe_util.Out.printf "%-32s makespan %8.1f s, %d adaptation(s)\n" r.label r.makespan r.adaptations)
     results;
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E4 *)
 
@@ -126,7 +126,7 @@ let run_e4 ~quick =
       Render.Series.make "adaptive (blind start)" (series (fun p -> p.adaptive));
       Render.Series.make "clairvoyant" (series (fun p -> p.clairvoyant));
     ];
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E7 *)
 
@@ -223,7 +223,7 @@ let run_e7 ~quick =
         ])
     (e7_sensor_cells ~quick);
   Render.Table.print sensor_table;
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E8 *)
 
@@ -284,4 +284,4 @@ let run_e8 ~quick =
       Render.Series.make "static"
         (Array.of_list (List.map (fun p -> (Float.log10 p.state_bytes, p.static_makespan)) points));
     ];
-  print_newline ()
+  Aspipe_util.Out.newline ()

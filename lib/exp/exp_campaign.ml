@@ -68,7 +68,7 @@ let cells ~quick =
       let scenario = scenario ~quick ~name:workload ~stages in
       List.map
         (fun (strategy, run) ->
-          let results = List.map (fun seed -> run scenario seed) seeds in
+          let results = Common.par_map (fun seed -> run scenario seed) seeds in
           let mean, ci = Common.mean_ci (List.map (fun r -> r.makespan) results) in
           let mean_adaptations =
             List.fold_left (fun acc r -> acc +. Float.of_int r.adaptations) 0.0 results
@@ -106,4 +106,4 @@ let run_e11 ~quick =
         ])
     all;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -140,7 +140,7 @@ let run_e12 ~quick =
     (List.map (fun r -> Render.Series.make r.label r.series) results);
   List.iter
     (fun r ->
-      Printf.printf "%-28s makespan %8.1f s, %d reconfiguration(s)\n" r.label r.makespan
+      Aspipe_util.Out.printf "%-28s makespan %8.1f s, %d reconfiguration(s)\n" r.label r.makespan
         r.reconfigurations)
     results;
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -115,7 +115,7 @@ let run_e18 ~quick =
         ])
     rows;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E19 *)
 
@@ -152,7 +152,9 @@ let e19_rows ~quick =
   let span = Float.of_int items *. 0.25 in
   let mttr = 0.2 *. span in
   let mtbfs = [ None; Some (4.0 *. span); Some (1.5 *. span); Some (0.5 *. span) ] in
-  List.map
+  (* Sweep points are independent replications: each builds its own
+     scenario world from explicit seeds, so they split across the pool. *)
+  Common.par_map
     (fun mtbf ->
       let scenario = e19_scenario ~mtbf ~mttr ~items () in
       let nominal =
@@ -201,7 +203,7 @@ let run_e19 ~quick =
         ])
     rows;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E20 *)
 
@@ -277,4 +279,4 @@ let run_e20 ~quick =
         ])
     rows;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -52,7 +52,7 @@ let forecaster_bank () =
   ]
 
 let rows ~quick =
-  List.map
+  Common.par_map
     (fun (signal, values) ->
       let bank = forecaster_bank () in
       Array.iter (fun v -> List.iter (fun f -> Forecast.observe f v) bank) values;
@@ -85,4 +85,4 @@ let run_e9 ~quick =
         @ [ Printf.sprintf "%.4f" (ensemble_regret r) ]))
     all;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

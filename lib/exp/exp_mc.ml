@@ -71,7 +71,7 @@ let run_e10 ~quick =
         (Array.of_list (List.map (fun p -> (Float.of_int p.groups, p.speedup)) points));
     ];
   List.iter
-    (fun p -> Printf.printf "groups=%d: %.3f s (speedup %.2fx)\n" p.groups p.seconds p.speedup)
+    (fun p -> Aspipe_util.Out.printf "groups=%d: %.3f s (speedup %.2fx)\n" p.groups p.seconds p.speedup)
     points;
   let farm = farm_points ~quick in
   Render.print_figure ~title:"E10b: farm (stage replication) speedup"
@@ -81,6 +81,6 @@ let run_e10 ~quick =
         (Array.of_list (List.map (fun p -> (Float.of_int p.workers, p.speedup)) farm));
     ];
   List.iter
-    (fun p -> Printf.printf "workers=%d: %.3f s (speedup %.2fx)\n" p.workers p.seconds p.speedup)
+    (fun p -> Aspipe_util.Out.printf "workers=%d: %.3f s (speedup %.2fx)\n" p.workers p.seconds p.speedup)
     farm;
-  print_newline ()
+  Aspipe_util.Out.newline ()

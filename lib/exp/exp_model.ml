@@ -47,7 +47,10 @@ let e1_rows ~quick =
     Costspec.of_topology ~topo ~stages:scenario.Scenario.stages ~input:scenario.Scenario.input ()
   in
   let mappings = Mapping.enumerate ~fix_first_on:0 ~stages:3 ~processors:3 () in
-  List.map
+  (* Each mapping simulates independently (the scenario spec is immutable
+     and every probe builds its own world), so the grid splits across the
+     campaign pool's workers. *)
+  Common.par_map
     (fun m ->
       {
         mapping = Mapping.to_array m;
@@ -91,7 +94,7 @@ let run_e1 ~quick =
     List.fold_left (fun acc r -> if column r > column acc then r else acc) (List.hd rows) rows
   in
   let top_sim = (argmax (fun r -> r.simulated)).simulated in
-  Printf.printf
+  Aspipe_util.Out.printf
     "rank correlation vs simulation: analytic rho=%.3f, ctmc rho=%.3f\n\
      top-choice agreement: analytic argmax simulates at %.1f%% of the true best,\n\
      ctmc argmax at %.1f%% (within-tier differences are ~2%%, below model resolution)\n\
@@ -157,7 +160,7 @@ let e2_scenario ~quick setting =
     ()
 
 let e2_rows ~quick =
-  List.map
+  Common.par_map
     (fun setting ->
       let scenario = e2_scenario ~quick setting in
       let seed = 2 in
@@ -202,4 +205,4 @@ let run_e2 ~quick =
         ])
     rows;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -82,8 +82,8 @@ let run_e16 ~quick =
     ];
   List.iter
     (fun p ->
-      Printf.printf "remote %5.1fx: local-only %.2f, unconstrained %.2f items/s (%s)\n"
+      Aspipe_util.Out.printf "remote %5.1fx: local-only %.2f, unconstrained %.2f items/s (%s)\n"
         (p.remote_speed /. 10.0) p.local_only p.unconstrained
         (if p.uses_remote then "offloads to the remote site" else "stays local"))
     all;
-  print_newline ()
+  Aspipe_util.Out.newline ()

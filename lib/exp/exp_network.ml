@@ -86,9 +86,9 @@ let run_e15 ~quick =
     (List.map (fun r -> Render.Series.make r.label r.series) all);
   List.iter
     (fun r ->
-      Printf.printf "%-28s makespan %8.1f s, %d adaptation(s), final mapping (%s) on %d node(s)\n"
+      Aspipe_util.Out.printf "%-28s makespan %8.1f s, %d adaptation(s), final mapping (%s) on %d node(s)\n"
         r.label r.makespan r.adaptations
         (String.concat "," (List.map string_of_int (Array.to_list r.final_mapping)))
         r.final_distinct_nodes)
     all;
-  print_newline ()
+  Aspipe_util.Out.newline ()

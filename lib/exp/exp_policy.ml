@@ -43,7 +43,7 @@ let rows ~quick =
   List.map
     (fun (name, make_policy) ->
       let reports =
-        List.map
+        Common.par_map
           (fun seed ->
             let config = { Adaptive.default_config with policy = make_policy } in
             Adaptive.run ~config ~scenario ~seed ())
@@ -77,4 +77,4 @@ let run_e17 ~quick =
         ])
     all;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

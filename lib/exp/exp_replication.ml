@@ -130,10 +130,10 @@ let run_e14 ~quick =
     all;
   Render.Table.print table;
   let dynamic = dynamic_results ~quick in
-  Printf.printf "E14b: a hot-stage replica node collapses to 10%% mid-run\n";
+  Aspipe_util.Out.printf "E14b: a hot-stage replica node collapses to 10%% mid-run\n";
   List.iter
     (fun r ->
-      Printf.printf "%-22s makespan %8.1f s, %d reconfiguration(s), final %s\n" r.label
+      Aspipe_util.Out.printf "%-22s makespan %8.1f s, %d reconfiguration(s), final %s\n" r.label
         r.makespan r.reconfigurations (replica_label r.final_replicas))
     dynamic;
   Render.print_figure ~title:"E14 (figure): throughput vs hot-stage replicas"
@@ -148,4 +148,4 @@ let run_e14 ~quick =
            (List.filteri (fun i _ -> i < 4) all
            |> List.mapi (fun i r -> (Float.of_int (i + 1), r.predicted))));
     ];
-  print_newline ()
+  Aspipe_util.Out.newline ()

@@ -41,7 +41,7 @@ let best_static_throughput ~quick ~processors ~output_bytes =
   Common.steady_throughput outcome.Baselines.trace
 
 let e5_points ~quick =
-  List.map
+  Common.par_map
     (fun processors ->
       let ideal =
         10.0 /. Float.of_int (int_of_float (Float.ceil (8.0 /. Float.of_int processors)))
@@ -64,7 +64,7 @@ let run_e5 ~quick =
       Render.Series.make "comm-bound (2MB payloads)" (series (fun p -> p.comm_bound));
       Render.Series.make "ideal 10/ceil(8/Np)" (series (fun p -> p.ideal));
     ];
-  print_newline ()
+  Aspipe_util.Out.newline ()
 
 (* ------------------------------------------------------------------ E6 *)
 
@@ -156,4 +156,4 @@ let run_e6 ~quick =
         ])
     rows;
   Render.Table.print table;
-  print_newline ()
+  Aspipe_util.Out.newline ()

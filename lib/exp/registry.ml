@@ -69,11 +69,19 @@ let find id =
   let target = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = target) all
 
+let header e =
+  Printf.sprintf "######## %s (%s): %s ########\n" e.id
+    (match e.kind with Table -> "table" | Figure -> "figure")
+    e.title
+
+let job e ~quick () =
+  Aspipe_util.Out.capture (fun () ->
+      Aspipe_util.Out.print_string (header e);
+      e.run ~quick)
+
 let run_all ~quick =
   List.iter
     (fun e ->
-      Printf.printf "######## %s (%s): %s ########\n" e.id
-        (match e.kind with Table -> "table" | Figure -> "figure")
-        e.title;
+      Aspipe_util.Out.print_string (header e);
       e.run ~quick)
     all

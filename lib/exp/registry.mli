@@ -23,5 +23,17 @@ val to_json : unit -> Aspipe_obs.Json.t
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
+val header : t -> string
+(** The ["######## E<n> (kind): title ########\n"] banner every runner
+    prints above an experiment's output. *)
+
+val job : t -> quick:bool -> unit -> string
+(** [job e ~quick] is the experiment as a pure closure: running it returns
+    the experiment's complete output (banner included) as bytes instead of
+    printing, via {!Aspipe_util.Out} capture. This is the unit the campaign
+    runner schedules on worker domains; the experiment's own RNG, engine,
+    bus and metrics are all created inside the closure, so runs are
+    isolated and byte-identical however they are scheduled. *)
+
 val run_all : quick:bool -> unit
 (** Run every experiment, printing a header per experiment. *)

@@ -1,0 +1,54 @@
+(* Content-addressed campaign result cache.
+
+   A cached entry is the captured stdout of one experiment run, stored under
+   a key that hashes the scenario identity (experiment id, title, quick
+   flag) together with the code version — the digest of the running
+   executable, so any rebuild that changes behaviour changes every key and
+   the cache can never serve stale tables. Entries are plain text files
+   named <md5hex>.out, human-inspectable and safely deletable. *)
+
+type t = { dir : string; code_version : string }
+
+(* The digest of the binary that is executing: the strongest "code
+   version" available without build-system help. If the executable cannot
+   be read back (e.g. deleted while running), caching is refused rather
+   than risking stale hits. *)
+let code_version () =
+  try Some (Digest.to_hex (Digest.file Sys.executable_name)) with Sys_error _ -> None
+
+let open_ ~dir =
+  match code_version () with
+  | None -> None
+  | Some code_version ->
+      (try if not (Sys.is_directory dir) then Sys.remove dir with Sys_error _ -> ());
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Some { dir; code_version }
+
+let key t ~id ~title ~quick =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|" [ id; title; (if quick then "quick" else "full"); t.code_version ]))
+
+let path t key = Filename.concat t.dir (key ^ ".out")
+
+let find t key =
+  let file = path t key in
+  if Sys.file_exists file then begin
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    with Sys_error _ | End_of_file -> None
+  end
+  else None
+
+let store t key output =
+  (* Write-then-rename so a crashed run never leaves a truncated entry. *)
+  let file = path t key in
+  let tmp = file ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc output);
+    Sys.rename tmp file
+  with Sys_error _ -> ()

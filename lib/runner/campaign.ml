@@ -1,0 +1,185 @@
+(* The multicore campaign runner: fan the experiment registry out over a
+   domain pool and reassemble the sequential report byte for byte.
+
+   Each experiment becomes one pool task built from [Registry.job]: a pure
+   closure that creates every bit of mutable state it needs (RNG, DES
+   engine, event bus, metrics) inside itself and returns its complete
+   output as bytes. Results are collected by registry index, so the printed
+   campaign is identical whatever the interleaving — [--jobs 1] and
+   [--jobs N] must and do produce the same bytes.
+
+   While the pool is up, [Common.par_map] is pool-backed, so experiments
+   that split their replications/sweep points fan those out over the same
+   workers (the calling worker helps, so nesting cannot deadlock). Child
+   output is re-emitted into the parent's capture buffer in index order.
+
+   The runner watches itself through [Aspipe_obs]: per-domain utilisation
+   gauges, steal/cache counters, a per-experiment wall-clock histogram and
+   a speedup gauge, all rendered in the campaign summary. *)
+
+module Registry = Aspipe_exp.Registry
+module Common = Aspipe_exp.Common
+module Out = Aspipe_util.Out
+module Metrics = Aspipe_obs.Metrics
+
+type outcome = {
+  id : string;
+  title : string;
+  output : string;
+  elapsed : float;   (* seconds spent computing; 0 when served from cache *)
+  cached : bool;
+}
+
+type report = {
+  outcomes : outcome list;
+  jobs : int;
+  wall_seconds : float;
+  serial_seconds : float;
+  speedup : float;
+  cache_hits : int;
+  utilisation : float array;
+  snapshot : Metrics.snapshot;
+}
+
+let now () = Unix.gettimeofday ()
+
+let select ?only () =
+  match only with
+  | None -> Registry.all
+  | Some ids ->
+      List.map
+        (fun id ->
+          match Registry.find id with
+          | Some e -> e
+          | None -> invalid_arg (Printf.sprintf "unknown experiment id: %s" id))
+        ids
+
+(* One experiment as a pool task: serve from the cache when the scenario +
+   code-version key hits, otherwise run captured and store. *)
+let task ~cache ~quick e () =
+  (* [Pool.timed] excludes time spent helping other tasks during nested
+     fan-out, so [elapsed] is this experiment's own compute and the serial
+     sum (hence the speedup figure) stays honest under helping. *)
+  let run_fresh () = Pool.timed (fun () -> Registry.job e ~quick ()) in
+  match cache with
+  | None ->
+      let output, elapsed = run_fresh () in
+      { id = e.Registry.id; title = e.Registry.title; output; elapsed; cached = false }
+  | Some c -> (
+      let key = Cache.key c ~id:e.Registry.id ~title:e.Registry.title ~quick in
+      match Cache.find c key with
+      | Some output ->
+          { id = e.Registry.id; title = e.Registry.title; output; elapsed = 0.0; cached = true }
+      | None ->
+          let output, elapsed = run_fresh () in
+          Cache.store c key output;
+          { id = e.Registry.id; title = e.Registry.title; output; elapsed; cached = false })
+
+let pool_par_map pool =
+  {
+    Common.pmap =
+      (fun f xs ->
+        (* Children run under their own capture; the parent re-emits their
+           output in index order, so a printing replication body stays
+           deterministic too. *)
+        let wrapped =
+          Pool.map_list pool (fun x ->
+              let buffer = Buffer.create 256 in
+              let y = Out.with_buffer buffer (fun () -> f x) in
+              (Buffer.contents buffer, y))
+            xs
+        in
+        List.iter (fun (out, _) -> Out.print_string out) wrapped;
+        List.map snd wrapped);
+  }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs ?cache_dir ?only ~quick () =
+  let experiments = select ?only () in
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let cache = Option.bind cache_dir (fun dir -> Cache.open_ ~dir) in
+  let tasks = List.map (fun e -> task ~cache ~quick e) experiments in
+  let t0 = now () in
+  let outcomes, pool_stats =
+    if jobs = 1 then (List.map (fun t -> t ()) tasks, None)
+    else begin
+      let pool = Pool.create ~workers:jobs in
+      Common.set_par_map (pool_par_map pool);
+      Fun.protect
+        ~finally:(fun () ->
+          Common.reset_par_map ();
+          Pool.shutdown pool)
+        (fun () ->
+          let outcomes = Pool.map_list pool (fun t -> t ()) tasks in
+          (outcomes, Some (Pool.stats pool)))
+    end
+  in
+  let wall_seconds = now () -. t0 in
+  let serial_seconds = List.fold_left (fun acc o -> acc +. o.elapsed) 0.0 outcomes in
+  let cache_hits = List.length (List.filter (fun o -> o.cached) outcomes) in
+  let busy, executed, stolen =
+    match pool_stats with
+    | Some s -> (s.Pool.busy_seconds, s.Pool.tasks_executed, s.Pool.tasks_stolen)
+    | None -> ([| serial_seconds |], [| List.length outcomes |], [| 0 |])
+  in
+  let utilisation =
+    Array.map (fun b -> if wall_seconds > 0.0 then Float.min 1.0 (b /. wall_seconds) else 0.0) busy
+  in
+  (* A fully-cached campaign has no compute to speed up. *)
+  let speedup =
+    if wall_seconds > 0.0 && serial_seconds > 0.0 then serial_seconds /. wall_seconds else 1.0
+  in
+  (* The runner's own telemetry, through the same registry everything else
+     uses, so the campaign scheduler is observable like any component. *)
+  let metrics = Metrics.create () in
+  Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.jobs") (Float.of_int jobs);
+  Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.wall_seconds") wall_seconds;
+  Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.serial_seconds") serial_seconds;
+  Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.speedup") speedup;
+  Metrics.Counter.add (Metrics.Counter.get metrics "runner.experiments") (List.length outcomes);
+  Metrics.Counter.add (Metrics.Counter.get metrics "runner.cache_hits") cache_hits;
+  Array.iteri
+    (fun i u ->
+      Metrics.Gauge.set
+        (Metrics.Gauge.get metrics (Printf.sprintf "runner.domain%d.utilisation" i))
+        u;
+      Metrics.Counter.add
+        (Metrics.Counter.get metrics (Printf.sprintf "runner.domain%d.tasks" i))
+        executed.(i);
+      Metrics.Counter.add
+        (Metrics.Counter.get metrics (Printf.sprintf "runner.domain%d.steals" i))
+        stolen.(i))
+    utilisation;
+  let histogram = Metrics.Histogram.get metrics "runner.experiment_seconds" in
+  List.iter (fun o -> if not o.cached then Metrics.Histogram.observe histogram o.elapsed) outcomes;
+  {
+    outcomes;
+    jobs;
+    wall_seconds;
+    serial_seconds;
+    speedup;
+    cache_hits;
+    utilisation;
+    snapshot = Metrics.snapshot metrics;
+  }
+
+let print_outputs report =
+  List.iter (fun o -> Out.print_string o.output) report.outcomes
+
+let summary report =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "######## Campaign runner summary ########\n";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "jobs %d | %d experiment(s), %d cached | wall %.2f s, serial %.2f s, speedup %.2fx\n"
+       report.jobs
+       (List.length report.outcomes)
+       report.cache_hits report.wall_seconds report.serial_seconds report.speedup);
+  Array.iteri
+    (fun i u -> Buffer.add_string buffer (Printf.sprintf "domain %d utilisation %5.1f%%\n" i (100.0 *. u)))
+    report.utilisation;
+  Buffer.add_string buffer (Metrics.render report.snapshot);
+  Buffer.contents buffer
+
+let print_summary report = Out.print_string (summary report)

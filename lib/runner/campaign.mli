@@ -1,0 +1,49 @@
+(** The multicore campaign runner: the experiment registry fanned out over
+    a {!Pool} of domains, reassembled in registry order.
+
+    Determinism guarantee: every experiment runs as a self-contained
+    {!Aspipe_exp.Registry.job} closure (own RNG, DES engine, bus, metrics),
+    its output captured per run and flushed by registry index — so
+    [--jobs 1] and [--jobs N] produce byte-identical campaign output.
+    While the pool is live, {!Aspipe_exp.Common.par_map} is pool-backed, so
+    experiments additionally split their replications/sweep points across
+    the same workers. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  output : string;   (** complete captured output, banner included *)
+  elapsed : float;   (** compute seconds; 0 when served from the cache *)
+  cached : bool;
+}
+
+type report = {
+  outcomes : outcome list;     (** in registry order *)
+  jobs : int;
+  wall_seconds : float;
+  serial_seconds : float;      (** sum of per-experiment compute time *)
+  speedup : float;             (** serial / wall *)
+  cache_hits : int;
+  utilisation : float array;   (** per-domain busy/wall, in [0,1] *)
+  snapshot : Aspipe_obs.Metrics.snapshot;  (** the runner's own telemetry *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?jobs:int -> ?cache_dir:string -> ?only:string list -> quick:bool -> unit -> report
+(** Run the selected experiments ([only] defaults to the whole registry;
+    unknown ids raise [Invalid_argument]). [jobs] defaults to
+    {!default_jobs}; [jobs = 1] runs inline with no pool (the sequential
+    reference path). [cache_dir] enables the content-addressed result
+    cache. Nothing is printed — outputs ride in the report. *)
+
+val print_outputs : report -> unit
+(** Emit every experiment's output, in registry order. *)
+
+val summary : report -> string
+(** The runner's observability block: jobs, wall/serial seconds, speedup,
+    per-domain utilisation and the metrics-registry rendering. *)
+
+val print_summary : report -> unit

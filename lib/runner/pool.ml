@@ -1,0 +1,242 @@
+(* A pool of worker domains scheduling tasks over per-worker work-stealing
+   deques.
+
+   Submission distributes a batch round-robin across the deques; each worker
+   pops its own deque bottom-first and steals oldest-first from the others
+   when it runs dry. One mutex serialises the scheduler state (deques,
+   counters, shutdown flag) — campaign tasks are whole experiments or
+   replication chunks, coarse enough that a scheduler lock costs nothing
+   measurable — and a single condition variable wakes sleepers on every
+   push and every completion.
+
+   Waiting is *helping*: a worker that blocks on a nested [map] (an
+   experiment splitting its replications from inside a pool task) executes
+   other pending tasks while its batch drains, so nested fan-out can never
+   deadlock the fixed-size pool. Results are always collected by input
+   index, never by completion order — determinism never depends on the
+   scheduling interleaving. *)
+
+type batch = {
+  mutable remaining : int;          (* tasks of this map call not yet finished *)
+  mutable failure : exn option;     (* first exception raised by a task *)
+}
+
+type task = { run : unit -> unit; batch : batch }
+
+type t = {
+  workers : int;
+  deques : task Deque.t array;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable pending : int;            (* tasks pushed and not yet claimed *)
+  mutable shutdown : bool;
+  mutable rr : int;                 (* round-robin submission cursor *)
+  mutable domains : unit Domain.t list;
+  busy : float array;               (* per-worker seconds spent executing *)
+  executed : int array;             (* per-worker tasks run *)
+  stolen : int array;               (* per-worker tasks obtained by stealing *)
+}
+
+(* Which pool worker (if any) the current domain is: workers help execute
+   other tasks while waiting on a nested batch; external callers just
+   sleep. *)
+let worker_index : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let now () = Unix.gettimeofday ()
+
+(* Exclusive-time accounting. Helping means a worker's clock can tick
+   inside another task's timer, so naive span timing double-counts: the
+   helped task's seconds land both in its own measurement and in the
+   timer it interrupted, and "speedup" can exceed the worker count. Each
+   in-flight timer owns a frame accumulating the time nested foreign
+   tasks consumed; subtracting it makes per-worker busy counters and
+   {!timed} spans *exclusive*, summing to real compute seconds. A task
+   frame charges its whole duration to the enclosing frame (all of it is
+   foreign to the interrupted timer); a measurement frame charges only
+   the foreign time it absorbed — its own work belongs to its parent. *)
+let frames : float ref list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let with_frame ~foreign f =
+  let stack = Domain.DLS.get frames in
+  let inner = ref 0.0 in
+  stack := inner :: !stack;
+  let t0 = now () in
+  let result = try Ok (f ()) with e -> Error e in
+  let dt = now () -. t0 in
+  stack := List.tl !stack;
+  (match !stack with
+  | parent :: _ -> parent := !parent +. (if foreign then dt else !inner)
+  | [] -> ());
+  (result, dt -. !inner)
+
+let timed f =
+  match with_frame ~foreign:false f with
+  | Ok y, exclusive -> (y, exclusive)
+  | Error e, _ -> raise e
+
+(* Claim a task with the scheduler lock held: own deque first (newest
+   first), then steal the oldest task from the other deques. *)
+let claim_locked t idx =
+  let mine = idx mod t.workers in
+  match Deque.pop t.deques.(mine) with
+  | Some task ->
+      t.pending <- t.pending - 1;
+      t.executed.(mine) <- t.executed.(mine) + 1;
+      Some task
+  | None ->
+      let rec hunt k =
+        if k = t.workers then None
+        else
+          let victim = (mine + k) mod t.workers in
+          match Deque.steal t.deques.(victim) with
+          | Some task ->
+              t.pending <- t.pending - 1;
+              t.executed.(mine) <- t.executed.(mine) + 1;
+              t.stolen.(mine) <- t.stolen.(mine) + 1;
+              Some task
+          | None -> hunt (k + 1)
+      in
+      hunt 1
+
+(* Run one task and account its completion. Exceptions are recorded on the
+   batch (first one wins) and re-raised by the batch's [map] caller. *)
+let execute t idx task =
+  let outcome, exclusive =
+    with_frame ~foreign:true (fun () -> try task.run (); None with e -> Some e)
+  in
+  let outcome = match outcome with Ok o -> o | Error _ -> assert false in
+  Mutex.lock t.mutex;
+  t.busy.(idx) <- t.busy.(idx) +. exclusive;
+  (match outcome with
+  | Some e when task.batch.failure = None -> task.batch.failure <- Some e
+  | _ -> ());
+  task.batch.remaining <- task.batch.remaining - 1;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t idx =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match claim_locked t idx with
+    | Some task -> Some task
+    | None ->
+        if t.shutdown then None
+        else begin
+          Condition.wait t.wake t.mutex;
+          next ()
+        end
+  in
+  let claimed = next () in
+  Mutex.unlock t.mutex;
+  match claimed with
+  | None -> ()
+  | Some task ->
+      execute t idx task;
+      worker_loop t idx
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      workers;
+      deques = Array.init workers (fun _ -> Deque.create ());
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      pending = 0;
+      shutdown = false;
+      rr = 0;
+      domains = [];
+      busy = Array.make workers 0.0;
+      executed = Array.make workers 0;
+      stolen = Array.make workers 0;
+    }
+  in
+  t.domains <-
+    List.init workers (fun idx ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_index (Some idx);
+            worker_loop t idx));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutdown <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Wait for [batch] to drain. A pool worker helps: it keeps claiming and
+   executing any pending task (its own batch's or another's) until the
+   batch is empty, sleeping only when there is nothing claimable anywhere.
+   An external caller just sleeps on the condition. *)
+let await t batch =
+  match Domain.DLS.get worker_index with
+  | Some idx ->
+      let rec help () =
+        Mutex.lock t.mutex;
+        if batch.remaining = 0 then Mutex.unlock t.mutex
+        else begin
+          match claim_locked t idx with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              execute t idx task;
+              help ()
+          | None ->
+              Condition.wait t.wake t.mutex;
+              Mutex.unlock t.mutex;
+              help ()
+        end
+      in
+      help ()
+  | None ->
+      Mutex.lock t.mutex;
+      while batch.remaining > 0 do
+        Condition.wait t.wake t.mutex
+      done;
+      Mutex.unlock t.mutex
+
+let map t f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let batch = { remaining = n; failure = None } in
+    Mutex.lock t.mutex;
+    Array.iteri
+      (fun i x ->
+        let task = { run = (fun () -> results.(i) <- Some (f x)); batch } in
+        Deque.push t.deques.((t.rr + i) mod t.workers) task;
+        t.pending <- t.pending + 1)
+      inputs;
+    t.rr <- (t.rr + n) mod t.workers;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    await t batch;
+    (match batch.failure with Some e -> raise e | None -> ());
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+type stats = {
+  workers : int;
+  busy_seconds : float array;
+  tasks_executed : int array;
+  tasks_stolen : int array;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      workers = t.workers;
+      busy_seconds = Array.copy t.busy;
+      tasks_executed = Array.copy t.executed;
+      tasks_stolen = Array.copy t.stolen;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let size (t : t) = t.workers

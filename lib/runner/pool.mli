@@ -1,0 +1,40 @@
+(** A pool of OCaml 5 worker domains over per-worker work-stealing deques.
+
+    Tasks are submitted in batches with {!map}; results are collected by
+    input index, never by completion order, so a [map] is deterministic
+    whenever [f] is (scheduling only affects wall-clock). A worker that
+    reaches a nested [map] (replication splitting inside a campaign task)
+    {e helps} — it executes other pending tasks while its batch drains —
+    so nested fan-out cannot deadlock the fixed-size pool. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains. Raises [Invalid_argument] if [workers < 1]. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Fan the batch out over the pool and wait for all of it. The first
+    exception any task raised is re-raised after the batch drains. Safe to
+    call from inside a pool task (the calling worker helps). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] is [f ()] and the seconds it took {e exclusive} of any pool
+    tasks the calling worker helped execute inside it — the honest compute
+    cost of [f] itself, on or off a pool. Re-raises what [f] raises. *)
+
+val shutdown : t -> unit
+(** Wake and join every worker. Call only once all [map]s have returned;
+    tasks still queued are dropped. *)
+
+type stats = {
+  workers : int;
+  busy_seconds : float array;   (** per-worker seconds spent executing *)
+  tasks_executed : int array;
+  tasks_stolen : int array;     (** of [tasks_executed], how many were stolen *)
+}
+
+val stats : t -> stats

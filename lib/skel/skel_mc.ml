@@ -1,14 +1,30 @@
 let run_seq pipe inputs = List.map (Pipe.apply pipe) inputs
 
 (* Pump every element of [cin] through [f] into [cout], then propagate the
-   close downstream so the chain shuts down stage by stage. *)
+   close downstream so the chain shuts down stage by stage. If [f] raises,
+   the failure still closes [cout] (and drains+closes [cin] so upstream
+   senders blocked on a full channel wake up via {!Chan.Closed} instead of
+   deadlocking), then re-raises for {!Domain.join} to surface. *)
 let pump f cin cout =
   let rec loop () =
     match Chan.recv cin with
     | None -> Chan.close cout
-    | Some x ->
-        Chan.send cout (f x);
-        loop ()
+    | Some x -> (
+        match try Ok (f x) with e -> Error e with
+        | Error e ->
+            Chan.close cin;
+            Chan.close cout;
+            raise e
+        | Ok y -> (
+            match Chan.send cout y with
+            | () -> loop ()
+            | exception Chan.Closed ->
+                (* Downstream failed and closed the chain mid-stream:
+                   relay the shutdown upstream and exit with the typed
+                   close signal — the failing stage carries the real
+                   exception out through its own join. *)
+                Chan.close cin;
+                raise Chan.Closed))
   in
   loop ()
 
@@ -31,15 +47,31 @@ let run ?(capacity = 8) pipe inputs =
   let domains, cout = build pipe cin [] in
   let feeder =
     Domain.spawn (fun () ->
-        List.iter (Chan.send cin) inputs;
-        Chan.close cin)
+        (* A failing stage closes the whole chain; the typed [Closed] here
+           just means "stop feeding", the stage's own exception carries the
+           failure out through its join below. *)
+        try
+          List.iter (Chan.send cin) inputs;
+          Chan.close cin
+        with Chan.Closed -> ())
   in
   let rec drain acc =
     match Chan.recv cout with None -> List.rev acc | Some y -> drain (y :: acc)
   in
   let outputs = drain [] in
   Domain.join feeder;
-  List.iter (fun (Packed d) -> ignore (Domain.join d)) domains;
+  (* Join every stage; after all domains have stopped, re-raise the actual
+     stage failure if there was one — preferring it over the [Chan.Closed]
+     relays its neighbours exited with — so a raising stage function
+     surfaces as its own exception rather than a hang. *)
+  let failures =
+    List.filter_map
+      (fun (Packed d) -> try ignore (Domain.join d); None with e -> Some e)
+      domains
+  in
+  (match List.find_opt (function Chan.Closed -> false | _ -> true) failures with
+  | Some e -> raise e
+  | None -> ( match failures with e :: _ -> raise e | [] -> ()));
   outputs
 
 let run_grouped ?capacity ~groups pipe inputs = run ?capacity (Pipe.fuse_groups groups pipe) inputs

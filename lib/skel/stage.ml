@@ -7,7 +7,8 @@ type t = {
   state_bytes : float;
 }
 
-let counter = ref 0
+(* Atomic: stages may be created concurrently from campaign worker domains. *)
+let counter = Atomic.make 0
 
 let make ?name ?(output_bytes = 1e5) ?(state_bytes = 1e6) ~work () =
   if output_bytes < 0.0 || state_bytes < 0.0 then
@@ -15,9 +16,7 @@ let make ?name ?(output_bytes = 1e5) ?(state_bytes = 1e6) ~work () =
   let name =
     match name with
     | Some n -> n
-    | None ->
-        incr counter;
-        Printf.sprintf "stage%d" !counter
+    | None -> Printf.sprintf "stage%d" (Atomic.fetch_and_add counter 1 + 1)
   in
   { name; work; output_bytes; state_bytes }
 

@@ -1,0 +1,41 @@
+(* Domain-local output redirection.
+
+   Each domain carries an optional capture buffer in domain-local storage.
+   When a buffer is installed, every byte the experiment code prints through
+   this module lands in the buffer instead of stdout; otherwise the bytes
+   fall through to stdout unchanged. Capture scopes nest (the previous
+   target is restored on exit, even on exceptions), so a worker domain that
+   helps execute another task mid-wait cannot leak that task's output into
+   its own buffer. *)
+
+let key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let target () = Domain.DLS.get key
+
+let print_string s =
+  match !(target ()) with
+  | Some buffer -> Buffer.add_string buffer s
+  | None -> Stdlib.print_string s
+
+let print_char c =
+  match !(target ()) with
+  | Some buffer -> Buffer.add_char buffer c
+  | None -> Stdlib.print_char c
+
+let newline () = print_string "\n"
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+let with_buffer buffer f =
+  let cell = target () in
+  let previous = !cell in
+  cell := Some buffer;
+  Fun.protect ~finally:(fun () -> cell := previous) f
+
+let capture f =
+  let buffer = Buffer.create 1024 in
+  with_buffer buffer f;
+  Buffer.contents buffer
+
+let capturing () = !(target ()) <> None

@@ -1,0 +1,32 @@
+(** Domain-local redirectable output — the seam that lets the campaign
+    runner execute printing experiments on worker domains and still emit
+    their bytes in deterministic registry order.
+
+    All experiment-facing printing (including {!Render.Table.print} and
+    {!Render.print_figure}) goes through this module. With no capture
+    installed, everything falls through to stdout, so sequential callers
+    (the CLI's [experiment] subcommand, direct [run_all]) see exactly the
+    bytes they always did. Under {!capture}, the same bytes land in a
+    per-run buffer that the caller flushes in order. *)
+
+val print_string : string -> unit
+(** To the current domain's capture buffer, or stdout if none. *)
+
+val print_char : char -> unit
+
+val newline : unit -> unit
+(** [print_string "\n"]. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [Printf]-style formatting into the current target. *)
+
+val with_buffer : Buffer.t -> (unit -> 'a) -> 'a
+(** [with_buffer b f] runs [f] with this domain's output redirected into
+    [b], restoring the previous target afterwards (exception-safe).
+    Scopes nest. *)
+
+val capture : (unit -> unit) -> string
+(** [capture f] runs [f] under a fresh buffer and returns its output. *)
+
+val capturing : unit -> bool
+(** Whether this domain currently redirects into a buffer. *)

@@ -53,7 +53,7 @@ module Table = struct
     rule ();
     Buffer.contents buffer
 
-  let print t = print_string (to_string t)
+  let print t = Out.print_string (to_string t)
 end
 
 module Series = struct
@@ -109,10 +109,10 @@ let plot ?(width = 64) ?(height = 16) (series : Series.t list) =
       Buffer.contents buffer
 
 let print_figure ~title ?(x_label = "x") ?(y_label = "y") series =
-  Printf.printf "== %s ==\n" title;
+  Out.printf "== %s ==\n" title;
   List.iter
     (fun (s : Series.t) ->
-      Printf.printf "-- series: %s  (%s, %s)\n" s.Series.label x_label y_label;
-      Array.iter (fun (x, y) -> Printf.printf "%14.6g %14.6g\n" x y) s.Series.points)
+      Out.printf "-- series: %s  (%s, %s)\n" s.Series.label x_label y_label;
+      Array.iter (fun (x, y) -> Out.printf "%14.6g %14.6g\n" x y) s.Series.points)
     series;
-  print_string (plot series)
+  Out.print_string (plot series)

@@ -63,6 +63,68 @@ let test_pqueue_empty () =
   Alcotest.(check bool) "peek empty" true (Pqueue.peek_key q = None);
   Alcotest.(check int) "size empty" 0 (Pqueue.size q)
 
+(* Model-based property: any interleaving of insert / remove-min / cancel
+   agrees with a reference model — a list of live [(key, seq)] pairs where
+   the minimum is by key then insertion order. Small integer keys force
+   ties; cancel targets any handle ever issued, so cancelling entries that
+   were already popped or cancelled is exercised too (idempotent no-op). *)
+
+type pq_op = Pq_insert of int | Pq_remove_min | Pq_cancel of int
+
+let pq_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun k -> Pq_insert k) (int_range 0 20));
+        (3, return Pq_remove_min);
+        (2, map (fun i -> Pq_cancel i) (int_range 0 10_000));
+      ])
+
+let test_pqueue_matches_model =
+  qtest ~count:150 "interleaved insert/remove-min/cancel matches reference model"
+    QCheck2.Gen.(list_size (int_range 0 150) pq_op_gen)
+    (fun ops ->
+      let q = Pqueue.create () in
+      let handles = ref [] (* every handle ever issued, newest first *) in
+      let issued = ref 0 in
+      let live = ref [] (* model: live (key, seq) entries *) in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Pq_insert k ->
+              let key = float_of_int k in
+              let h = Pqueue.insert q key !seq in
+              handles := (h, (key, !seq)) :: !handles;
+              incr issued;
+              live := (key, !seq) :: !live;
+              incr seq;
+              Pqueue.size q = List.length !live
+          | Pq_remove_min ->
+              let expected =
+                match List.sort compare !live with
+                | [] -> None
+                | ((k, s) as min) :: _ ->
+                    live := List.filter (fun e -> e <> min) !live;
+                    Some (k, s)
+              in
+              Pqueue.pop q = expected
+          | Pq_cancel i ->
+              if !issued = 0 then true
+              else begin
+                let h, target = List.nth !handles (i mod !issued) in
+                Pqueue.cancel h;
+                live := List.filter (fun e -> e <> target) !live;
+                Pqueue.cancelled h && Pqueue.size q = List.length !live
+              end)
+        ops
+      && (* after the op sequence, draining pops the remaining model in order *)
+      List.sort compare !live
+      = (let rec drain acc =
+           match Pqueue.pop q with Some e -> drain (e :: acc) | None -> List.rev acc
+         in
+         drain []))
+
 (* --------------------------------------------------------------- Engine *)
 
 let test_engine_order () =
@@ -460,6 +522,7 @@ let () =
           Alcotest.test_case "cancel" `Quick test_pqueue_cancel;
           Alcotest.test_case "peek skips cancelled" `Quick test_pqueue_peek_skips_cancelled;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          test_pqueue_matches_model;
         ] );
       ( "engine",
         [

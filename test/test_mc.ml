@@ -3,6 +3,7 @@
    fusion, replication and exceptions. *)
 
 module Pipe = Aspipe_skel.Pipe
+module Chan = Aspipe_skel.Chan
 module Skel_mc = Aspipe_skel.Skel_mc
 module Farm_mc = Aspipe_skel.Farm_mc
 
@@ -124,6 +125,68 @@ let test_farm_as_pipeline_stage () =
   Alcotest.(check (list int)) "pipeline_stage alias" [ 1; 8; 27 ]
     (Farm_mc.pipeline_stage ~workers:2 (fun x -> x * x * x) [ 1; 2; 3 ])
 
+(* ------------------------------------------------- failure paths (Domains) *)
+
+(* The close protocol under real contention: a party blocked on a full
+   (or empty) channel must be woken by [close] with the typed outcome —
+   {!Chan.Closed} for senders, [None] for receivers — never left parked.
+   Each test runs the blocking side on its own domain and joins it, so a
+   regression here hangs the suite instead of passing silently. *)
+
+let test_chan_close_wakes_blocked_sender () =
+  let chan = Chan.create ~capacity:1 in
+  Chan.send chan 0;
+  let sender =
+    Domain.spawn (fun () ->
+        (* Blocks: the channel is full and nothing drains it. *)
+        match Chan.send chan 1 with () -> `Sent | exception Chan.Closed -> `Raised_closed)
+  in
+  Unix.sleepf 0.05;
+  Chan.close chan;
+  Alcotest.(check bool) "blocked sender raises Closed" true (Domain.join sender = `Raised_closed)
+
+let test_chan_close_wakes_blocked_receiver () =
+  let chan : int Chan.t = Chan.create ~capacity:4 in
+  let receiver = Domain.spawn (fun () -> Chan.recv chan) in
+  Unix.sleepf 0.05;
+  Chan.close chan;
+  Alcotest.(check (option int)) "blocked receiver gets None" None (Domain.join receiver)
+
+let test_chan_drain_after_close () =
+  let chan = Chan.create ~capacity:4 in
+  List.iter (Chan.send chan) [ 1; 2; 3 ];
+  Chan.close chan;
+  Alcotest.check_raises "send after close" Chan.Closed (fun () -> Chan.send chan 4);
+  Alcotest.(check (list (option int))) "queued elements drain FIFO, then None"
+    [ Some 1; Some 2; Some 3; None ]
+    (List.map (fun _ -> Chan.recv chan) [ (); (); (); () ])
+
+(* A raising stage function must surface as its exception from [run], not
+   as a deadlock. Capacity 1 with many items makes the failure mode real:
+   when the middle stage dies, the feeder and the upstream stage are
+   blocked on full channels and only the close-on-failure path can wake
+   them. *)
+let test_pipeline_stage_exception_propagates () =
+  let boom = Failure "stage-boom" in
+  let open Pipe in
+  let chain = (fun x -> x + 1) @> (fun x -> if x = 5 then raise boom else x) @> last (fun x -> x * 2) in
+  Alcotest.check_raises "mid-chain stage failure re-raised" boom (fun () ->
+      ignore (Skel_mc.run ~capacity:1 chain (List.init 200 Fun.id)))
+
+let test_pipeline_first_stage_exception_propagates () =
+  let boom = Failure "head-boom" in
+  let open Pipe in
+  let chain = (fun x -> if x = 0 then raise boom else x) @> last (fun x -> x + 1) in
+  Alcotest.check_raises "first stage failure re-raised" boom (fun () ->
+      ignore (Skel_mc.run ~capacity:1 chain (List.init 50 Fun.id)))
+
+let test_pipeline_last_stage_exception_propagates () =
+  let boom = Failure "tail-boom" in
+  let open Pipe in
+  let chain = (fun x -> x + 1) @> (fun x -> x * 3) @> last (fun x -> if x > 30 then raise boom else x) in
+  Alcotest.check_raises "last stage failure re-raised" boom (fun () ->
+      ignore (Skel_mc.run ~capacity:1 chain (List.init 100 Fun.id)))
+
 (* --------------------------------------------------- cross-backend checks *)
 
 let test_image_chain_backends_agree () =
@@ -166,6 +229,15 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_farm_exception_propagates;
           Alcotest.test_case "invalid workers" `Quick test_farm_invalid_workers;
           Alcotest.test_case "pipeline stage alias" `Quick test_farm_as_pipeline_stage;
+        ] );
+      ( "failure-paths",
+        [
+          Alcotest.test_case "close wakes blocked sender" `Quick test_chan_close_wakes_blocked_sender;
+          Alcotest.test_case "close wakes blocked receiver" `Quick test_chan_close_wakes_blocked_receiver;
+          Alcotest.test_case "drain after close" `Quick test_chan_drain_after_close;
+          Alcotest.test_case "mid-chain stage exception" `Quick test_pipeline_stage_exception_propagates;
+          Alcotest.test_case "first-stage exception" `Quick test_pipeline_first_stage_exception_propagates;
+          Alcotest.test_case "last-stage exception" `Quick test_pipeline_last_stage_exception_propagates;
         ] );
       ( "cross-backend",
         [ Alcotest.test_case "image chain agreement" `Slow test_image_chain_backends_agree ] );
