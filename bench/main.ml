@@ -15,7 +15,17 @@
                                                    experiments of an
                                                    unchanged binary replay
                                                    from disk)
-          dune exec bench/main.exe -- --skip-micro *)
+          dune exec bench/main.exe -- --skip-micro
+
+   Perf harness (see DESIGN.md "Performance" for the BENCH_4.json schema;
+   run under `--profile release` — the dev profile's -opaque disables the
+   cross-module inlining the hot path is built around):
+
+          dune exec --profile release bench/main.exe -- --perf --quick
+          ... --perf --perf-out FILE          (default BENCH_4.json)
+          ... --perf --perf-baseline FILE    (compare against a committed
+                                              BENCH_4.json; exit 1 on >25%
+                                              events/sec regression) *)
 
 open Bechamel
 open Toolkit
@@ -146,6 +156,227 @@ let run_metrics_snapshot ~quick =
       print_string (Aspipe_obs.Metrics.render (Aspipe_obs.Meter.snapshot meter));
       print_newline ()
 
+(* --- perf harness ----------------------------------------------------- *)
+
+module Json = Aspipe_obs.Json
+module Engine = Aspipe_des.Engine
+
+let wall () = Unix.gettimeofday ()
+
+(* DES microbench: [timers] self-rescheduling callbacks over one engine,
+   deterministic delays, no telemetry. Measures the raw schedule/pop/fire
+   loop. The workload is frozen — the committed baseline in BENCH_4.json was
+   measured with exactly this shape. *)
+let des_microbench ~timers ~events =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  for i = 0 to timers - 1 do
+    let rec self () =
+      incr fired;
+      if !fired + timers <= events then begin
+        let delay = 0.001 +. (0.0001 *. Float.of_int (((i * 7) + !fired) mod 64)) in
+        ignore (Engine.schedule engine ~delay self)
+      end
+    in
+    ignore (Engine.schedule engine ~delay:(0.0001 *. Float.of_int (i + 1)) self)
+  done;
+  let a0 = Gc.allocated_bytes () in
+  let t0 = wall () in
+  Engine.run ~until:1e12 engine;
+  let t1 = wall () in
+  let a1 = Gc.allocated_bytes () in
+  (!fired, t1 -. t0, a1 -. a0)
+
+(* Sim microbench: a 4-stage pipeline on 3 nodes, N items — observed (trace
+   sink attached, the pre-PR-comparable configuration) or unobserved (no
+   sink: the guarded emit path, which should allocate no event payloads). *)
+let sim_microbench ~observed ~items =
+  let rng = Aspipe_util.Rng.create 42 in
+  let engine = Engine.create () in
+  let topo =
+    Aspipe_grid.Topology.uniform engine ~n:3 ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ()
+  in
+  let stages = Aspipe_skel.Stage.balanced ~n:4 ~work:1.0 () in
+  let input = Aspipe_skel.Stream_spec.make ~items () in
+  let trace = if observed then Some (Aspipe_grid.Trace.create ()) else None in
+  let sim =
+    Aspipe_skel.Skel_sim.create ?trace ~rng ~topo ~stages ~mapping:[| 0; 1; 2; 0 |] ~input ()
+  in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = wall () in
+  Aspipe_skel.Skel_sim.run_to_completion sim;
+  let t1 = wall () in
+  let a1 = Gc.allocated_bytes () in
+  (items, t1 -. t0, a1 -. a0, Engine.events_fired engine)
+
+(* Best of [n] runs by elapsed time: the minimum is the least-perturbed
+   sample on a noisy machine, and it is what the committed baseline used. *)
+let best_of n time_of f =
+  let best = ref (f ()) in
+  for _ = 2 to n do
+    let r = f () in
+    if time_of r < time_of !best then best := r
+  done;
+  !best
+
+(* The pre-PR measurement this PR's ≥1.5× DES target is judged against:
+   same workloads, same best-of-N methodology, release profile, captured on
+   the commit preceding the optimisation. Frozen by hand — the harness can
+   only measure the code it is built from. *)
+let baseline_json =
+  Json.Obj
+    [
+      ( "des",
+        Json.Obj
+          [
+            ("events", Json.Int 1_000_000);
+            ("events_per_sec", Json.Float 4_349_832.0);
+            ("ns_per_event", Json.Float 229.9);
+            ("bytes_per_event", Json.Float 231.8);
+          ] );
+      ( "sim",
+        Json.Obj
+          [
+            ("items", Json.Int 5000);
+            ("events", Json.Int 50_000);
+            ("items_per_sec", Json.Float 149_970.0);
+            ("bytes_per_item", Json.Float 8935.0);
+          ] );
+      ( "campaign",
+        Json.Obj
+          [
+            ("quick", Json.Bool true);
+            ("jobs1_wall_seconds", Json.Float 1.228);
+            ("jobs4_wall_seconds", Json.Float 5.985);
+          ] );
+    ]
+
+let float_member path json =
+  let rec walk json = function
+    | [] -> ( match json with Json.Float f -> Some f | Json.Int i -> Some (Float.of_int i) | _ -> None)
+    | key :: rest -> ( match Json.member key json with Some j -> walk j rest | None -> None)
+  in
+  walk json path
+
+let run_perf ~quick ~out ~baseline_file =
+  (* Warm-ups mirror the measured shapes at reduced size. *)
+  ignore (des_microbench ~timers:64 ~events:10_000);
+  let des_events, des_secs, des_bytes =
+    best_of 5 (fun (_, s, _) -> s) (fun () -> des_microbench ~timers:512 ~events:1_000_000)
+  in
+  let des_ev_s = Float.of_int des_events /. des_secs in
+  ignore (sim_microbench ~observed:true ~items:200);
+  let sim_items, sim_secs, sim_bytes, sim_events =
+    best_of 3 (fun (_, s, _, _) -> s) (fun () -> sim_microbench ~observed:true ~items:5000)
+  in
+  let _, unobs_secs, unobs_bytes, _ =
+    best_of 3 (fun (_, s, _, _) -> s) (fun () -> sim_microbench ~observed:false ~items:5000)
+  in
+  (* Full-registry campaign wall time, sequential and multicore. Allocation
+     is sampled in the calling domain only (workers have their own GC), so
+     it is reported per outcome as an approximation. *)
+  let a0 = Gc.allocated_bytes () in
+  let report1 = Aspipe_runner.Campaign.run ~jobs:1 ~quick () in
+  let a1 = Gc.allocated_bytes () in
+  let report4 = Aspipe_runner.Campaign.run ~jobs:4 ~quick () in
+  let outcomes = List.length report1.Aspipe_runner.Campaign.outcomes in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "aspipe-bench/1");
+        ("quick", Json.Bool quick);
+        ("ocaml", Json.String Sys.ocaml_version);
+        ("method", Json.String "best-of-5 (des) / best-of-3 wall time; release profile; see DESIGN.md");
+        ("baseline", baseline_json);
+        ( "current",
+          Json.Obj
+            [
+              ( "des",
+                Json.Obj
+                  [
+                    ("events", Json.Int des_events);
+                    ("events_per_sec", Json.Float des_ev_s);
+                    ("ns_per_event", Json.Float (des_secs *. 1e9 /. Float.of_int des_events));
+                    ("bytes_per_event", Json.Float (des_bytes /. Float.of_int des_events));
+                  ] );
+              ( "sim",
+                Json.Obj
+                  [
+                    ("items", Json.Int sim_items);
+                    ("events", Json.Int sim_events);
+                    ("items_per_sec", Json.Float (Float.of_int sim_items /. sim_secs));
+                    ("bytes_per_item", Json.Float (sim_bytes /. Float.of_int sim_items));
+                  ] );
+              ( "sim_unobserved",
+                Json.Obj
+                  [
+                    ("items", Json.Int sim_items);
+                    ("items_per_sec", Json.Float (Float.of_int sim_items /. unobs_secs));
+                    ("bytes_per_item", Json.Float (unobs_bytes /. Float.of_int sim_items));
+                  ] );
+              ( "campaign",
+                Json.Obj
+                  [
+                    ("quick", Json.Bool quick);
+                    ("outcomes", Json.Int outcomes);
+                    ( "jobs1_wall_seconds",
+                      Json.Float report1.Aspipe_runner.Campaign.wall_seconds );
+                    ( "jobs4_wall_seconds",
+                      Json.Float report4.Aspipe_runner.Campaign.wall_seconds );
+                    ( "jobs1_bytes_per_outcome",
+                      Json.Float ((a1 -. a0) /. Float.of_int (max 1 outcomes)) );
+                  ] );
+            ] );
+        ( "improvement",
+          Json.Obj [ ("des_events_per_sec_ratio", Json.Float (des_ev_s /. 4_349_832.0)) ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "######## Perf harness ########\n";
+  Printf.printf "des microbench:   %9.0f events/s  %6.1f ns/event  %6.1f bytes/event\n" des_ev_s
+    (des_secs *. 1e9 /. Float.of_int des_events)
+    (des_bytes /. Float.of_int des_events);
+  Printf.printf "sim (observed):   %9.0f items/s   %6.1f bytes/item\n"
+    (Float.of_int sim_items /. sim_secs)
+    (sim_bytes /. Float.of_int sim_items);
+  Printf.printf "sim (unobserved): %9.0f items/s   %6.1f bytes/item\n"
+    (Float.of_int sim_items /. unobs_secs)
+    (unobs_bytes /. Float.of_int sim_items);
+  Printf.printf "campaign (%s):  jobs1 %.3fs  jobs4 %.3fs  (%d outcomes)\n"
+    (if quick then "quick" else "full")
+    report1.Aspipe_runner.Campaign.wall_seconds report4.Aspipe_runner.Campaign.wall_seconds
+    outcomes;
+  Printf.printf "vs pre-PR baseline: %.2fx des events/s\n" (des_ev_s /. 4_349_832.0);
+  Printf.printf "wrote %s\n" out;
+  match baseline_file with
+  | None -> ()
+  | Some file -> (
+      let contents = In_channel.with_open_text file In_channel.input_all in
+      match Json.of_string contents with
+      | Error msg ->
+          Printf.eprintf "perf: cannot parse baseline %s: %s\n" file msg;
+          exit 2
+      | Ok committed -> (
+          match float_member [ "current"; "des"; "events_per_sec" ] committed with
+          | None ->
+              Printf.eprintf "perf: %s has no current.des.events_per_sec\n" file;
+              exit 2
+          | Some committed_ev_s ->
+              let floor = 0.75 *. committed_ev_s in
+              if des_ev_s < floor then begin
+                Printf.eprintf
+                  "perf: REGRESSION — des microbench %.0f events/s is more than 25%% below the \
+                   committed %.0f events/s\n"
+                  des_ev_s committed_ev_s;
+                exit 1
+              end
+              else
+                Printf.printf "regression gate: %.0f events/s >= 75%% of committed %.0f — ok\n"
+                  des_ev_s committed_ev_s))
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -170,6 +401,11 @@ let () =
             exit 2)
   in
   let cache_dir = flag_value "--cache" in
+  if List.mem "--perf" args then begin
+    let out = Option.value (flag_value "--perf-out") ~default:"BENCH_4.json" in
+    run_perf ~quick ~out ~baseline_file:(flag_value "--perf-baseline");
+    exit 0
+  end;
   (match Aspipe_runner.Campaign.run ~jobs ?cache_dir ?only ~quick () with
   | report ->
       Aspipe_runner.Campaign.print_outputs report;

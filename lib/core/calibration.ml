@@ -22,11 +22,11 @@ let run ?(probes = 5) ?(measurement_noise = 0.01) ?bus ~rng stages =
         else Float.max 0.0 (true_work *. (1.0 +. Variate.normal rng ~mean:0.0 ~stddev:measurement_noise))
       in
       (match bus with
-      | Some bus ->
+      | Some bus when Aspipe_obs.Bus.active bus ->
           Aspipe_obs.Bus.emit bus
             (Aspipe_obs.Event.Calibration_sample
                { stage = stage_index; probe = probe - 1; measured })
-      | None -> ());
+      | Some _ | None -> ());
       Stats.Welford.add acc measured
     done;
     {

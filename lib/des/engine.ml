@@ -5,6 +5,8 @@ type t = {
   bus : Aspipe_obs.Bus.t;
 }
 
+let now t = t.clock
+
 type handle = Pqueue.handle
 
 let create () =
@@ -12,7 +14,6 @@ let create () =
   Aspipe_obs.Bus.set_clock t.bus (fun () -> t.clock);
   t
 
-let now t = t.clock
 let bus t = t.bus
 
 let schedule_at t ~time f =
@@ -20,34 +21,38 @@ let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   Pqueue.insert t.queue time f
 
-let schedule t ~delay f =
+let[@inline] schedule t ~delay f =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: delay must be finite and non-negative";
-  schedule_at t ~time:(t.clock +. delay) f
+  (* A finite non-negative delay added to a finite clock passes the
+     [schedule_at] validation by construction — insert directly. *)
+  Pqueue.insert t.queue (t.clock +. delay) f
 
 let cancel = Pqueue.cancel
 
+(* The event loop body: pop (allocation-free) and fire. [pop_min] fuses the
+   old peek+pop pair into one heap traversal, and the popped entry is read
+   back through [popped_key]/[popped_value] before the callback can touch
+   the queue. *)
+let[@inline] fire t =
+  t.clock <- Pqueue.popped_key t.queue;
+  let f = Pqueue.popped_value t.queue in
+  t.fired <- t.fired + 1;
+  f ()
+
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      t.fired <- t.fired + 1;
-      f ();
-      true
+  if Pqueue.pop_min t.queue ~horizon:infinity then begin
+    fire t;
+    true
+  end
+  else false
 
 let run ?until t =
   match until with
-  | None -> while step t do () done
+  | None -> while Pqueue.pop_min t.queue ~horizon:infinity do fire t done
   | Some horizon ->
-      let rec loop () =
-        match Pqueue.peek_key t.queue with
-        | Some key when key <= horizon ->
-            ignore (step t);
-            loop ()
-        | Some _ | None -> if t.clock < horizon then t.clock <- horizon
-      in
-      loop ()
+      while Pqueue.pop_min t.queue ~horizon do fire t done;
+      if t.clock < horizon then t.clock <- horizon
 
 let events_fired t = t.fired
 let pending t = Pqueue.size t.queue

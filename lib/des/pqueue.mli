@@ -3,7 +3,11 @@
 
     Ties on the key are broken by insertion order, so the simulation is
     deterministic: two events scheduled for the same instant fire in the
-    order they were scheduled. *)
+    order they were scheduled.
+
+    The heap stores keys in a flat [float array] (unboxed) with parallel
+    payload arrays, so the hot pop/insert path performs no allocation
+    beyond the returned {!handle}. *)
 
 type 'a t
 
@@ -22,6 +26,27 @@ val cancelled : handle -> bool
 
 val pop : 'a t -> (float * 'a) option
 (** [pop q] removes and returns the minimum live entry, or [None] if empty. *)
+
+val pop_if : 'a t -> horizon:float -> (float * 'a) option
+(** [pop_if q ~horizon] removes and returns the minimum live entry iff its
+    key is [<= horizon] — the fused form of [peek_key] + [pop], one heap
+    traversal instead of two. Cancelled entries surfacing at the root are
+    physically removed even when they lie beyond the horizon. *)
+
+val pop_min : 'a t -> horizon:float -> bool
+(** Allocation-free [pop_if]: [pop_min q ~horizon] pops the minimum live
+    entry if its key is [<= horizon] and returns [true]; the popped entry is
+    then readable through {!popped_key} and {!popped_value} until the next
+    operation on [q]. Returns [false] (and pops nothing live) when the queue
+    is empty or the next live key is past the horizon. *)
+
+val popped_key : 'a t -> float
+(** Key of the entry removed by the last successful {!pop_min}. Unspecified
+    if the last [pop_min] returned [false] or [q] was touched since. *)
+
+val popped_value : 'a t -> 'a
+(** Value of the entry removed by the last successful {!pop_min}; same
+    validity window as {!popped_key}. *)
 
 val peek_key : 'a t -> float option
 (** Key of the next live entry without removing it. *)

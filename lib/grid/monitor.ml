@@ -64,15 +64,17 @@ let create ?(sensor = default_sensor) ?(suspect_after = 2) ?forecaster ~rng ~eve
            t.missed.(i) <- 0;
            match sense (Node.availability (Topology.node topo i)) with
            | Some observed ->
-               Aspipe_obs.Bus.emit bus
-                 (Event.Monitor_sample { subject = Event.Node i; observed });
-               Aspipe_obs.Bus.emit bus
-                 (Event.Forecast_update
-                    {
-                      subject = Event.Node i;
-                      predicted = Forecast.predict t.forecasters.(i);
-                      observed;
-                    });
+               if Aspipe_obs.Bus.active bus then begin
+                 Aspipe_obs.Bus.emit bus
+                   (Event.Monitor_sample { subject = Event.Node i; observed });
+                 Aspipe_obs.Bus.emit bus
+                   (Event.Forecast_update
+                      {
+                        subject = Event.Node i;
+                        predicted = Forecast.predict t.forecasters.(i);
+                        observed;
+                      })
+               end;
                Forecast.observe t.forecasters.(i) observed;
                t.last.(i) <- Some observed;
                t.samples <- t.samples + 1
@@ -80,8 +82,9 @@ let create ?(sensor = default_sensor) ?(suspect_after = 2) ?forecaster ~rng ~eve
          end);
         (match sense (Link.quality (Topology.user_link topo i)) with
         | Some observed ->
-            Aspipe_obs.Bus.emit bus
-              (Event.Monitor_sample { subject = Event.User_link i; observed });
+            if Aspipe_obs.Bus.active bus then
+              Aspipe_obs.Bus.emit bus
+                (Event.Monitor_sample { subject = Event.User_link i; observed });
             Forecast.observe t.user_link_forecasters.(i) observed;
             t.samples <- t.samples + 1
         | None -> ());
@@ -89,8 +92,10 @@ let create ?(sensor = default_sensor) ?(suspect_after = 2) ?forecaster ~rng ~eve
           if i <> j then
             match sense (Link.quality (Topology.link topo ~src:i ~dst:j)) with
             | Some observed ->
-                Aspipe_obs.Bus.emit bus
-                  (Event.Monitor_sample { subject = Event.Link { src = i; dst = j }; observed });
+                if Aspipe_obs.Bus.active bus then
+                  Aspipe_obs.Bus.emit bus
+                    (Event.Monitor_sample
+                       { subject = Event.Link { src = i; dst = j }; observed });
                 Forecast.observe t.link_forecasters.(i).(j) observed;
                 t.samples <- t.samples + 1
             | None -> ()

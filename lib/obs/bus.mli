@@ -7,12 +7,23 @@
     hands the event to every subscribed sink in subscription order,
     synchronously. Sinks must not emit back onto the bus.
 
-    Emission with no sinks attached is a cheap no-op apart from the payload
-    allocation, so instrumented hot paths need no conditional plumbing. *)
+    Hot call sites guard their emits with {!active} so that a run with no
+    full-stream sink attached constructs no payloads at all. Rare control
+    events (crash/recovery, adaptation decisions) are emitted unguarded so
+    that {!Control}-interest sinks — internal machinery such as the
+    simulator's fault handler — keep working on an otherwise silent bus. *)
 
 type t
 
 type sink = Event.t -> unit
+
+type interest =
+  | All  (** Wants the full event stream; keeps the guarded hot path on. *)
+  | Control
+      (** Only needs the sparse control events that are emitted
+          unconditionally. A [Control] sink still receives every event that
+          is actually emitted; it just does not, by itself, make {!active}
+          true and so does not force the per-item hot emits. *)
 
 type subscription
 
@@ -26,17 +37,24 @@ val set_clock : t -> (unit -> float) -> unit
 val now : t -> float
 (** Current clock reading. *)
 
-val subscribe : t -> sink -> subscription
-(** Attach a sink; it sees every event emitted after this call. *)
+val subscribe : ?interest:interest -> t -> sink -> subscription
+(** Attach a sink ([interest] defaults to [All]); it sees every event
+    emitted after this call. Amortised O(1). *)
 
 val unsubscribe : t -> subscription -> unit
-(** Detach; idempotent. *)
+(** Detach; idempotent. Subscription order of the remaining sinks is
+    preserved. *)
 
 val active : t -> bool
-(** [true] iff at least one sink is attached. *)
+(** [true] iff at least one [All]-interest sink is attached — O(1). Hot
+    call sites check this before constructing an event payload:
+    [if Bus.active bus then Bus.emit bus (...)]. *)
 
 val emit : t -> Event.payload -> unit
-(** Stamp and deliver to all sinks. *)
+(** Stamp and deliver to all sinks. The sequence number advances on every
+    call, sinks or not; the payload is only stamped into an event (and thus
+    allocated onto sinks) when at least one sink of any interest is
+    attached. *)
 
 val events_emitted : t -> int
 (** Total events stamped so far (the next event's [seq]). *)

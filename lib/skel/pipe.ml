@@ -20,9 +20,9 @@ let apply_observed ~bus ~item p x =
   let timed : type a b. int -> (a -> b) -> a -> b =
    fun stage f x ->
     let start = Bus.now bus in
-    Bus.emit bus (Event.Service_start { item; stage; node = 0 });
+    if Bus.active bus then Bus.emit bus (Event.Service_start { item; stage; node = 0 });
     let y = f x in
-    Bus.emit bus (Event.Service_finish { item; stage; node = 0; start });
+    if Bus.active bus then Bus.emit bus (Event.Service_finish { item; stage; node = 0; start });
     y
   in
   let rec go : type a b. int -> (a, b) t -> a -> b =
@@ -30,7 +30,7 @@ let apply_observed ~bus ~item p x =
     match p with
     | Last f ->
         let y = timed stage f x in
-        Bus.emit bus (Event.Completion { item });
+        if Bus.active bus then Bus.emit bus (Event.Completion { item });
         y
     | Stage (f, rest) -> go (stage + 1) rest (timed stage f x)
   in

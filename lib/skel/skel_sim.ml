@@ -8,13 +8,14 @@ module Link = Aspipe_grid.Link
 module Trace = Aspipe_grid.Trace
 module Bus = Aspipe_obs.Bus
 module Event = Aspipe_obs.Event
+module Ring = Aspipe_util.Ring
 
 type stage_state = {
   spec : Stage.t;
   index : int;
   mutable node : int;
-  pending : int Queue.t;  (* item ids awaiting this stage, FIFO *)
-  waiting_deliveries : (unit -> unit) Queue.t;
+  pending : int Ring.t;  (* item ids awaiting this stage, FIFO *)
+  waiting_deliveries : (unit -> unit) Ring.t;
       (* deliveries parked because [pending] hit the buffer capacity *)
   mutable busy : bool;  (* an item of this stage is submitted to a server *)
   mutable in_service : int option;
@@ -34,7 +35,6 @@ type t = {
   engine : Engine.t;
   bus : Bus.t;
   topo : Topology.t;
-  trace : Trace.t;
   rng : Rng.t;
   stages : stage_state array;
   work_table : (int * int, float) Hashtbl.t;
@@ -75,16 +75,17 @@ let rec try_dispatch t si =
   if
     (not s.busy) && s.migrating_to = None && (not s.replaying)
     && Node.up (Topology.node t.topo s.node)
-    && not (Queue.is_empty s.pending)
+    && not (Ring.is_empty s.pending)
   then begin
-    let item = Queue.pop s.pending in
-    Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Queue.length s.pending });
+    let item = Ring.pop s.pending in
+    if Bus.active t.bus then
+      Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Ring.length s.pending });
     s.busy <- true;
     s.in_service <- Some item;
     (* A buffer slot opened: land one parked delivery. This must happen
        after [busy] is set, or the landed delivery's own dispatch attempt
        would start a second concurrent service on this stage. *)
-    if not (Queue.is_empty s.waiting_deliveries) then (Queue.pop s.waiting_deliveries) ();
+    if not (Ring.is_empty s.waiting_deliveries) then (Ring.pop s.waiting_deliveries) ();
     let node_idx = s.node in
     let node = Topology.node t.topo node_idx in
     let start = ref (Engine.now t.engine) in
@@ -92,11 +93,13 @@ let rec try_dispatch t si =
     Server.submit (Node.server node) ~work ~tag:item
       ~on_start:(fun () ->
         start := Engine.now t.engine;
-        Bus.emit t.bus (Event.Service_start { item; stage = si; node = node_idx }))
+        if Bus.active t.bus then
+          Bus.emit t.bus (Event.Service_start { item; stage = si; node = node_idx }))
       (fun () ->
         s.in_service <- None;
-        Bus.emit t.bus
-          (Event.Service_finish { item; stage = si; node = node_idx; start = !start });
+        if Bus.active t.bus then
+          Bus.emit t.bus
+            (Event.Service_finish { item; stage = si; node = node_idx; start = !start });
         (* The output move is part of the stage's cycle — the stage stays
            busy until its output is delivered downstream (synchronous send,
            as in the skeleton's (move).(process).(move) behaviour), so slow
@@ -114,7 +117,7 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
     let link = Topology.user_link t.topo from_node in
     Link.transfer link ~bytes (fun () ->
         t.completed <- t.completed + 1;
-        Bus.emit t.bus (Event.Completion { item });
+        if Bus.active t.bus then Bus.emit t.bus (Event.Completion { item });
         on_delivered ())
   else begin
     let dst_stage = t.stages.(from_stage + 1) in
@@ -122,13 +125,15 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
     let link = Topology.link t.topo ~src:from_node ~dst:dst_node in
     let start = Engine.now t.engine in
     Link.transfer link ~bytes (fun () ->
-        Bus.emit t.bus
-          (Event.Transfer { item; from_stage; src = from_node; dst = dst_node; start; bytes });
+        if Bus.active t.bus then
+          Bus.emit t.bus
+            (Event.Transfer { item; from_stage; src = from_node; dst = dst_node; start; bytes });
         land_delivery t dst_stage (fun () ->
-            Queue.push item dst_stage.pending;
-            Bus.emit t.bus
-              (Event.Queue_sample
-                 { stage = from_stage + 1; depth = Queue.length dst_stage.pending });
+            Ring.push dst_stage.pending item;
+            if Bus.active t.bus then
+              Bus.emit t.bus
+                (Event.Queue_sample
+                   { stage = from_stage + 1; depth = Ring.length dst_stage.pending });
             on_delivered ();
             try_dispatch t (from_stage + 1)))
   end
@@ -137,8 +142,8 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
    upstream sender busy — that is the back pressure) until a slot opens. *)
 and land_delivery t dst deliver =
   match t.queue_capacity with
-  | Some capacity when Queue.length dst.pending >= capacity ->
-      Queue.push deliver dst.waiting_deliveries
+  | Some capacity when Ring.length dst.pending >= capacity ->
+      Ring.push dst.waiting_deliveries deliver
   | Some _ | None -> deliver ()
 
 let inject t ~item =
@@ -146,8 +151,9 @@ let inject t ~item =
   let link = Topology.user_link t.topo first.node in
   Link.transfer link ~bytes:t.input.Stream_spec.item_bytes (fun () ->
       land_delivery t first (fun () ->
-          Queue.push item first.pending;
-          Bus.emit t.bus (Event.Queue_sample { stage = 0; depth = Queue.length first.pending });
+          Ring.push first.pending item;
+          if Bus.active t.bus then
+            Bus.emit t.bus (Event.Queue_sample { stage = 0; depth = Ring.length first.pending });
           try_dispatch t 0))
 
 (* Payload bytes a queued item of stage [si] carries during a migration or a
@@ -163,11 +169,11 @@ let queued_item_bytes t si =
    one per popped item; this covers the crash path, where draining [pending]
    frees slots without any dispatch happening. *)
 let rec refill t s =
-  if not (Queue.is_empty s.waiting_deliveries) then begin
+  if not (Ring.is_empty s.waiting_deliveries) then begin
     match t.queue_capacity with
-    | Some capacity when Queue.length s.pending >= capacity -> ()
+    | Some capacity when Ring.length s.pending >= capacity -> ()
     | Some _ | None ->
-        (Queue.pop s.waiting_deliveries) ();
+        (Ring.pop s.waiting_deliveries) ();
         refill t s
   end
 
@@ -189,17 +195,18 @@ let on_crash t node =
             s.busy <- false;
             s.lost <- item :: s.lost;
             t.lost_total <- t.lost_total + 1;
-            Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node })
+            if Bus.active t.bus then
+              Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node })
         | None -> ());
-        if s.migrating_to = None && not (Queue.is_empty s.pending) then begin
-          Queue.iter
-            (fun item ->
+        if s.migrating_to = None && not (Ring.is_empty s.pending) then begin
+          Ring.iter s.pending (fun item ->
               s.lost <- item :: s.lost;
               t.lost_total <- t.lost_total + 1;
-              Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node }))
-            s.pending;
-          Queue.clear s.pending;
-          Bus.emit t.bus (Event.Queue_sample { stage = s.index; depth = 0 });
+              if Bus.active t.bus then
+                Bus.emit t.bus (Event.Item_lost { item; stage = s.index; node }));
+          Ring.clear s.pending;
+          if Bus.active t.bus then
+            Bus.emit t.bus (Event.Queue_sample { stage = s.index; depth = 0 });
           refill t s
         end
       end)
@@ -228,16 +235,18 @@ let restore_stage t si =
     s.replaying <- true;
     Link.transfer link ~bytes (fun () ->
         s.replaying <- false;
-        let replay = Queue.create () in
-        List.iter (fun item -> Queue.push item replay) items;
-        Queue.transfer s.pending replay;
-        Queue.transfer replay s.pending;
+        (* Prepend in order: pushing the reversed list at the front leaves
+           the replayed items ahead of everything queued since, smallest id
+           first. *)
+        List.iter (fun item -> Ring.push_front s.pending item) (List.rev items);
         List.iter
           (fun item ->
             t.redispatched_total <- t.redispatched_total + 1;
-            Bus.emit t.bus (Event.Item_redispatched { item; stage = si; node = s.node }))
+            if Bus.active t.bus then
+              Bus.emit t.bus (Event.Item_redispatched { item; stage = si; node = s.node }))
           items;
-        Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Queue.length s.pending });
+        if Bus.active t.bus then
+          Bus.emit t.bus (Event.Queue_sample { stage = si; depth = Ring.length s.pending });
         try_dispatch t si)
   end
 
@@ -252,7 +261,7 @@ let on_recover t node =
       end)
     t.stages
 
-let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
+let create ?queue_capacity ?trace ~rng ~topo ~stages ~mapping ~input () =
   check_mapping topo stages mapping;
   if Array.length stages = 0 then invalid_arg "Skel_sim: empty pipeline";
   (match queue_capacity with
@@ -260,15 +269,16 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
   | Some _ | None -> ());
   let engine = Topology.engine topo in
   (* The simulator emits structured events on the engine's bus; the caller's
-     trace is subscribed as one sink among any others (JSONL, Perfetto,
-     metrics) attached before or during the run. *)
-  Trace.subscribe trace (Engine.bus engine);
+     trace (when given) is subscribed as one sink among any others (JSONL,
+     Perfetto, metrics) attached before or during the run. Without any such
+     full-stream sink the bus stays inactive and the guarded hot emits
+     construct no payloads at all. *)
+  (match trace with Some trace -> Trace.subscribe trace (Engine.bus engine) | None -> ());
   let t =
     {
       engine;
       bus = Engine.bus engine;
       topo;
-      trace;
       rng;
       stages =
         Array.mapi
@@ -277,8 +287,8 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
               spec;
               index;
               node = mapping.(index);
-              pending = Queue.create ();
-              waiting_deliveries = Queue.create ();
+              pending = Ring.create ~dummy:0;
+              waiting_deliveries = Ring.create ~dummy:(fun () -> ());
               busy = false;
               in_service = None;
               migrating_to = None;
@@ -296,9 +306,11 @@ let create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () =
     }
   in
   (* React to fault events already ordered on the bus: the crash/recovery
-     event precedes the item-loss / re-dispatch events it causes. *)
+     event precedes the item-loss / re-dispatch events it causes. Control
+     interest: the fault handler must work on a trace-less bus without
+     keeping the per-item hot emits alive. *)
   ignore
-    (Bus.subscribe t.bus (fun (event : Event.t) ->
+    (Bus.subscribe ~interest:Control t.bus (fun (event : Event.t) ->
          match event.Event.payload with
          | Event.Node_crashed { node } -> on_crash t node
          | Event.Node_recovered { node } -> on_recover t node
@@ -328,7 +340,7 @@ let remap t new_mapping =
         let src = s.node in
         let bytes =
           s.spec.Stage.state_bytes
-          +. (Float.of_int (Queue.length s.pending) *. queued_item_bytes t s.index)
+          +. (Float.of_int (Ring.length s.pending) *. queued_item_bytes t s.index)
         in
         total := !total +. bytes;
         s.migrating_to <- Some dst;
@@ -361,7 +373,7 @@ let failover t new_mapping =
           let src = s.node in
           let bytes =
             s.spec.Stage.state_bytes
-            +. (Float.of_int (Queue.length s.pending) *. queued_item_bytes t s.index)
+            +. (Float.of_int (Ring.length s.pending) *. queued_item_bytes t s.index)
           in
           s.migrating_to <- Some dst;
           let link = Topology.link t.topo ~src ~dst in
@@ -377,7 +389,9 @@ let failover t new_mapping =
              items are re-dispatched from the checkpoint (their payloads
              re-fetched from upstream by [restore_stage]). *)
           s.node <- dst;
-          Bus.emit t.bus (Event.Queue_sample { stage = s.index; depth = Queue.length s.pending });
+          if Bus.active t.bus then
+            Bus.emit t.bus
+              (Event.Queue_sample { stage = s.index; depth = Ring.length s.pending });
           restore_stage t s.index;
           try_dispatch t s.index
         end
@@ -425,8 +439,8 @@ let describe_stall t reason =
            (match s.migrating_to with
            | Some d -> Printf.sprintf ", migrating to node %d" d
            | None -> "")
-           (Queue.length s.pending)
-           (Queue.length s.waiting_deliveries)
+           (Ring.length s.pending)
+           (Ring.length s.waiting_deliveries)
            (List.length s.lost)))
     t.stages;
   if !dead_holds then
@@ -451,6 +465,6 @@ let run_to_completion ?max_time t =
 
 let execute ?(rng = Rng.create 42) ?queue_capacity ~topo ~stages ~mapping ~input () =
   let trace = Trace.create () in
-  let t = create ?queue_capacity ~rng ~topo ~stages ~mapping ~input ~trace () in
+  let t = create ?queue_capacity ~trace ~rng ~topo ~stages ~mapping ~input () in
   run_to_completion t;
   trace

@@ -41,21 +41,23 @@ type t
 
 val create :
   ?queue_capacity:int ->
+  ?trace:Aspipe_grid.Trace.t ->
   rng:Aspipe_util.Rng.t ->
   topo:Aspipe_grid.Topology.t ->
   stages:Stage.t array ->
   mapping:int array ->
   input:Stream_spec.t ->
-  trace:Aspipe_grid.Trace.t ->
   unit ->
   t
 (** Schedules all arrivals; nothing runs until the engine does.
     [queue_capacity] bounds every stage's input buffer (default unbounded):
     a delivery to a full stage parks, holding the upstream sender busy —
     with capacity 1 the pipeline approaches the bufferless synchronization
-    of the CTMC model. Raises [Invalid_argument] if the mapping length
-    differs from the stage count, names an unknown node, or the capacity
-    is below 1. *)
+    of the CTMC model. [trace], when given, is subscribed to the engine bus
+    as a full-stream sink; without it (or any other such sink) the run is
+    unobserved and the hot path emits no event payloads at all. Raises
+    [Invalid_argument] if the mapping length differs from the stage count,
+    names an unknown node, or the capacity is below 1. *)
 
 val mapping : t -> int array
 (** Current stage→node assignment (updated by completed migrations). *)

@@ -61,7 +61,40 @@ let test_pqueue_empty () =
   let q : int Pqueue.t = Pqueue.create () in
   Alcotest.(check bool) "pop empty" true (Pqueue.pop q = None);
   Alcotest.(check bool) "peek empty" true (Pqueue.peek_key q = None);
+  Alcotest.(check bool) "pop_if empty" true (Pqueue.pop_if q ~horizon:infinity = None);
   Alcotest.(check int) "size empty" 0 (Pqueue.size q)
+
+let test_pqueue_pop_if_horizon () =
+  let q = Pqueue.create () in
+  ignore (Pqueue.insert q 2.0 "b");
+  ignore (Pqueue.insert q 1.0 "a");
+  ignore (Pqueue.insert q 3.0 "c");
+  Alcotest.(check bool) "beyond horizon stays" true (Pqueue.pop_if q ~horizon:0.5 = None);
+  Alcotest.(check int) "nothing removed" 3 (Pqueue.size q);
+  Alcotest.(check bool) "at horizon pops" true (Pqueue.pop_if q ~horizon:1.0 = Some (1.0, "a"));
+  Alcotest.(check bool) "next beyond" true (Pqueue.pop_if q ~horizon:1.5 = None);
+  Alcotest.(check bool) "wide horizon pops" true (Pqueue.pop_if q ~horizon:10.0 = Some (2.0, "b"))
+
+let test_pqueue_pop_min_readback () =
+  let q = Pqueue.create () in
+  ignore (Pqueue.insert q 4.0 "later");
+  ignore (Pqueue.insert q 2.0 "sooner");
+  Alcotest.(check bool) "pops" true (Pqueue.pop_min q ~horizon:infinity);
+  Alcotest.(check (float 0.0)) "popped key" 2.0 (Pqueue.popped_key q);
+  Alcotest.(check string) "popped value" "sooner" (Pqueue.popped_value q);
+  Alcotest.(check bool) "pops again" true (Pqueue.pop_min q ~horizon:infinity);
+  Alcotest.(check string) "second value" "later" (Pqueue.popped_value q);
+  Alcotest.(check bool) "then empty" false (Pqueue.pop_min q ~horizon:infinity)
+
+let test_pqueue_pop_if_drops_cancelled_beyond_horizon () =
+  let q = Pqueue.create () in
+  let h = Pqueue.insert q 5.0 "dead" in
+  ignore (Pqueue.insert q 7.0 "live");
+  Pqueue.cancel h;
+  (* The cancelled root is physically removed even though both entries lie
+     beyond the horizon. *)
+  Alcotest.(check bool) "nothing within horizon" true (Pqueue.pop_if q ~horizon:1.0 = None);
+  Alcotest.(check bool) "live entry pops" true (Pqueue.pop_if q ~horizon:10.0 = Some (7.0, "live"))
 
 (* Model-based property: any interleaving of insert / remove-min / cancel
    agrees with a reference model — a list of live [(key, seq)] pairs where
@@ -69,7 +102,7 @@ let test_pqueue_empty () =
    ties; cancel targets any handle ever issued, so cancelling entries that
    were already popped or cancelled is exercised too (idempotent no-op). *)
 
-type pq_op = Pq_insert of int | Pq_remove_min | Pq_cancel of int
+type pq_op = Pq_insert of int | Pq_remove_min | Pq_cancel of int | Pq_pop_if of int
 
 let pq_op_gen =
   QCheck2.Gen.(
@@ -78,6 +111,7 @@ let pq_op_gen =
         (4, map (fun k -> Pq_insert k) (int_range 0 20));
         (3, return Pq_remove_min);
         (2, map (fun i -> Pq_cancel i) (int_range 0 10_000));
+        (2, map (fun h -> Pq_pop_if h) (int_range 0 20));
       ])
 
 let test_pqueue_matches_model =
@@ -116,7 +150,17 @@ let test_pqueue_matches_model =
                 Pqueue.cancel h;
                 live := List.filter (fun e -> e <> target) !live;
                 Pqueue.cancelled h && Pqueue.size q = List.length !live
-              end)
+              end
+          | Pq_pop_if h ->
+              let horizon = float_of_int h in
+              let expected =
+                match List.sort compare !live with
+                | ((k, s) as min) :: _ when k <= horizon ->
+                    live := List.filter (fun e -> e <> min) !live;
+                    Some (k, s)
+                | _ -> None
+              in
+              Pqueue.pop_if q ~horizon = expected)
         ops
       && (* after the op sequence, draining pops the remaining model in order *)
       List.sort compare !live
@@ -522,6 +566,10 @@ let () =
           Alcotest.test_case "cancel" `Quick test_pqueue_cancel;
           Alcotest.test_case "peek skips cancelled" `Quick test_pqueue_peek_skips_cancelled;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "pop_if horizon" `Quick test_pqueue_pop_if_horizon;
+          Alcotest.test_case "pop_min read-back" `Quick test_pqueue_pop_min_readback;
+          Alcotest.test_case "pop_if drops cancelled beyond horizon" `Quick
+            test_pqueue_pop_if_drops_cancelled_beyond_horizon;
           test_pqueue_matches_model;
         ] );
       ( "engine",

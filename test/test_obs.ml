@@ -53,6 +53,41 @@ let test_bus_counts_without_sinks () =
   Bus.emit bus (Event.Completion { item = 0 });
   Alcotest.(check int) "seq advances with no sinks" 1 (Bus.events_emitted bus)
 
+let test_bus_control_interest () =
+  let bus = Bus.create () in
+  let seen = ref 0 in
+  let sub = Bus.subscribe ~interest:Bus.Control bus (fun _ -> incr seen) in
+  (* A control sink does not, by itself, make the bus active ... *)
+  Alcotest.(check bool) "control sink leaves bus inactive" false (Bus.active bus);
+  (* ... but it receives every event actually emitted. *)
+  Bus.emit bus (Event.Node_crashed { node = 1 });
+  Alcotest.(check int) "control sink sees emitted events" 1 !seen;
+  let all = Bus.subscribe bus (fun _ -> ()) in
+  Alcotest.(check bool) "an All sink activates" true (Bus.active bus);
+  Bus.unsubscribe bus all;
+  Alcotest.(check bool) "inactive again after unsubscribe" false (Bus.active bus);
+  Bus.unsubscribe bus sub;
+  Bus.emit bus (Event.Node_crashed { node = 2 });
+  Alcotest.(check int) "detached control sink sees nothing" 1 !seen
+
+let test_bus_many_sinks_ordered () =
+  (* Push the sink table through several growth doublings and check order
+     and unsubscribe-from-the-middle survival. *)
+  let bus = Bus.create () in
+  let log = ref [] in
+  let subs =
+    List.init 37 (fun i -> (i, Bus.subscribe bus (fun _ -> log := i :: !log)))
+  in
+  Bus.emit bus (Event.Completion { item = 0 });
+  Alcotest.(check (list int)) "37 sinks fire in subscription order" (List.init 37 Fun.id)
+    (List.rev !log);
+  List.iter (fun (i, sub) -> if i mod 3 = 0 then Bus.unsubscribe bus sub) subs;
+  log := [];
+  Bus.emit bus (Event.Completion { item = 1 });
+  Alcotest.(check (list int)) "survivors keep their order"
+    (List.filter (fun i -> i mod 3 <> 0) (List.init 37 Fun.id))
+    (List.rev !log)
+
 (* --------------------------------------------------------------- Metrics *)
 
 let test_metrics_counter_gauge () =
@@ -276,6 +311,8 @@ let () =
           Alcotest.test_case "order and unsubscribe" `Quick
             test_bus_subscription_order_and_unsubscribe;
           Alcotest.test_case "counts without sinks" `Quick test_bus_counts_without_sinks;
+          Alcotest.test_case "control interest" `Quick test_bus_control_interest;
+          Alcotest.test_case "many sinks ordered" `Quick test_bus_many_sinks_ordered;
         ] );
       ( "metrics",
         [

@@ -1,0 +1,174 @@
+(* Performance-contract tests: the optimisations in the virtual-time hot
+   path must not change observable behaviour, and the allocation-lean
+   paths must actually be lean.
+
+   Two caveats keep these honest on shared CI hardware:
+   - no wall-clock assertions (those live in the bench harness, compared
+     against BENCH_4.json with a tolerance);
+   - allocation budgets are coarse, because the dev profile compiles with
+     [-opaque] (no cross-module inlining) and so boxes floats at call
+     boundaries that the release profile keeps unboxed. The budgets catch
+     a reintroduced per-event payload or per-push cell, not a word or two
+     of boxing. *)
+
+module Engine = Aspipe_des.Engine
+module Bus = Aspipe_obs.Bus
+module Pqueue = Aspipe_des.Pqueue
+
+let make_sim ?trace ~items engine =
+  let rng = Aspipe_util.Rng.create 42 in
+  let topo =
+    Aspipe_grid.Topology.uniform engine ~n:3 ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ()
+  in
+  let stages = Aspipe_skel.Stage.balanced ~n:4 ~work:1.0 () in
+  let input = Aspipe_skel.Stream_spec.make ~items () in
+  Aspipe_skel.Skel_sim.create ?trace ~rng ~topo ~stages ~mapping:[| 0; 1; 2; 0 |] ~input ()
+
+(* A sink-free simulation run stamps no events at all: every hot emit is
+   guarded by [Bus.active], and fault-free runs emit no control events. *)
+let test_sink_free_run_emits_nothing () =
+  let engine = Engine.create () in
+  let sim = make_sim ~items:500 engine in
+  Alcotest.(check bool) "bus inactive without sinks" false (Bus.active (Engine.bus engine));
+  Aspipe_skel.Skel_sim.run_to_completion sim;
+  Alcotest.(check int) "completed" 500 (Aspipe_skel.Skel_sim.items_completed sim);
+  Alcotest.(check int) "no events stamped" 0 (Bus.events_emitted (Engine.bus engine))
+
+(* The same workload, observed and unobserved: the unobserved run must
+   allocate strictly less (it builds no payloads), and both must agree on
+   every simulation-visible outcome. *)
+let test_unobserved_run_allocates_less () =
+  let run ~observed =
+    let engine = Engine.create () in
+    let trace = if observed then Some (Aspipe_grid.Trace.create ()) else None in
+    let sim = make_sim ?trace ~items:2000 engine in
+    let a0 = Gc.allocated_bytes () in
+    Aspipe_skel.Skel_sim.run_to_completion sim;
+    let bytes = Gc.allocated_bytes () -. a0 in
+    (bytes, Engine.events_fired engine, Engine.now engine)
+  in
+  let obs_bytes, obs_events, obs_now = run ~observed:true in
+  let un_bytes, un_events, un_now = run ~observed:false in
+  Alcotest.(check int) "same events fired" obs_events un_events;
+  Alcotest.(check (float 1e-9)) "same final clock" obs_now un_now;
+  if un_bytes >= obs_bytes then
+    Alcotest.failf "unobserved run allocated %.0f bytes >= observed %.0f" un_bytes obs_bytes
+
+(* Guarded emit on an inactive bus: the guard itself must not allocate a
+   payload per call. The budget is generous (loop overhead, dev-profile
+   boxing) but far below one payload record per iteration. *)
+let test_guarded_emit_allocation_budget () =
+  let bus = Bus.create () in
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to iters do
+    if Bus.active bus then Bus.emit bus (Aspipe_obs.Event.Completion { item = i })
+  done;
+  let per_iter = (Gc.minor_words () -. w0) /. Float.of_int iters in
+  if per_iter > 1.0 then
+    Alcotest.failf "guarded emit allocated %.2f minor words/iter on an inactive bus" per_iter;
+  Alcotest.(check int) "seq untouched" 0 (Bus.events_emitted bus)
+
+(* The schedule/pop_min/fire loop: a coarse per-event budget that would
+   catch a reintroduced closure, option, or heap cell per operation. *)
+let test_pqueue_cycle_allocation_budget () =
+  let q = Pqueue.create () in
+  let f () = () in
+  for i = 0 to 63 do
+    ignore (Pqueue.insert q (0.0001 *. Float.of_int i) f)
+  done;
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    if Pqueue.pop_min q ~horizon:infinity then
+      ignore (Pqueue.insert q (Pqueue.popped_key q +. (0.0001 *. Float.of_int (i land 63))) f)
+  done;
+  let per_op = (Gc.minor_words () -. w0) /. Float.of_int iters in
+  if per_op > 16.0 then
+    Alcotest.failf "pop_min/insert cycle allocated %.2f minor words/op" per_op
+
+(* Golden determinism: the campaign output for three registry experiments
+   is byte-identical to the digests captured before the optimisation, and
+   identical again under --jobs 4. *)
+let golden_campaign = [ ("E1", "28a482341504a86deef536622a83277c");
+                        ("E3", "705233c8dcefc56efb2182bf2f3446ae");
+                        ("E18", "d99e1d91c6ba0cf1d9f55a5ee1201040") ]
+
+let campaign_digests ~jobs =
+  let report =
+    Aspipe_runner.Campaign.run ~jobs ~only:(List.map fst golden_campaign) ~quick:true ()
+  in
+  List.map
+    (fun o ->
+      ( o.Aspipe_runner.Campaign.id,
+        Digest.to_hex (Digest.string o.Aspipe_runner.Campaign.output) ))
+    report.Aspipe_runner.Campaign.outcomes
+
+let check_campaign_digests digests =
+  List.iter
+    (fun (id, expected) ->
+      match List.assoc_opt id digests with
+      | None -> Alcotest.failf "experiment %s missing from campaign output" id
+      | Some got -> Alcotest.(check string) (id ^ " output digest") expected got)
+    golden_campaign
+
+let test_golden_campaign_jobs1 () = check_campaign_digests (campaign_digests ~jobs:1)
+let test_golden_campaign_jobs4 () = check_campaign_digests (campaign_digests ~jobs:4)
+
+(* Golden determinism: the full JSONL event stream of an adaptive run —
+   every event, field and float rendering — is byte-identical to the
+   pre-optimisation capture, for two seeds. *)
+let golden_jsonl = [ (3, "e383d75d7c75493e32b4ea2417b03a96", 141161);
+                     (7, "7eaf8f4683aa8f447850bc8f554531f9", 135858) ]
+
+let test_golden_jsonl () =
+  List.iter
+    (fun (seed, expected, expected_bytes) ->
+      let scenario =
+        Aspipe_core.Scenario.make ~name:"perf-golden"
+          ~make_topo:(fun engine ->
+            Aspipe_grid.Topology.uniform engine ~n:3 ~speed:10.0 ~latency:0.01
+              ~bandwidth:1e7 ())
+          ~loads:[ (0, Aspipe_grid.Loadgen.Step { at = 20.0; level = 0.2 }) ]
+          ~stages:(Aspipe_workload.Synthetic.hot_stage ~n:4 ~factor:3.0 ())
+          ~input:
+            (Aspipe_skel.Stream_spec.make ~arrival:(Aspipe_skel.Stream_spec.Spaced 0.3)
+               ~items:80 ())
+          ~horizon:1e5 ()
+      in
+      let buffer = Buffer.create 65536 in
+      ignore
+        (Aspipe_core.Adaptive.run
+           ~instrument:(fun bus ->
+             ignore (Bus.subscribe bus (Aspipe_obs.Jsonl.sink_to_buffer buffer)))
+           ~scenario ~seed ());
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d stream length" seed)
+        expected_bytes (Buffer.length buffer);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d stream digest" seed)
+        expected
+        (Digest.to_hex (Digest.string (Buffer.contents buffer))))
+    golden_jsonl
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "sink-free run emits nothing" `Quick
+            test_sink_free_run_emits_nothing;
+          Alcotest.test_case "unobserved allocates less" `Quick
+            test_unobserved_run_allocates_less;
+          Alcotest.test_case "guarded emit budget" `Quick
+            test_guarded_emit_allocation_budget;
+          Alcotest.test_case "pqueue cycle budget" `Quick
+            test_pqueue_cycle_allocation_budget;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "campaign jobs 1" `Quick test_golden_campaign_jobs1;
+          Alcotest.test_case "campaign jobs 4" `Quick test_golden_campaign_jobs4;
+          Alcotest.test_case "jsonl streams" `Quick test_golden_jsonl;
+        ] );
+    ]

@@ -669,6 +669,70 @@ let test_rng_split_chi_square () =
       check "joint" (chi_square joint samples) 103.0)
     [ 1; 2; 42; 1234; 99991 ]
 
+(* ----------------------------------------------------------------- Ring *)
+
+module Ring = Aspipe_util.Ring
+
+let test_ring_fifo () =
+  let r = Ring.create ~dummy:0 in
+  Alcotest.(check bool) "fresh is empty" true (Ring.is_empty r);
+  for i = 1 to 100 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "length" 100 (Ring.length r);
+  Alcotest.(check int) "peek is front" 1 (Ring.peek r);
+  for i = 1 to 100 do
+    Alcotest.(check int) "fifo order" i (Ring.pop r)
+  done;
+  Alcotest.(check bool) "drained" true (Ring.is_empty r);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Ring.pop: empty") (fun () ->
+      ignore (Ring.pop r))
+
+let test_ring_push_front () =
+  let r = Ring.create ~dummy:0 in
+  Ring.push r 3;
+  Ring.push r 4;
+  Ring.push_front r 2;
+  Ring.push_front r 1;
+  let got = ref [] in
+  Ring.iter r (fun x -> got := x :: !got);
+  Alcotest.(check (list int)) "front-to-back" [ 1; 2; 3; 4 ] (List.rev !got);
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r);
+  Ring.push r 9;
+  Alcotest.(check int) "usable after clear" 9 (Ring.pop r)
+
+(* Model check: a ring driven by a random push/push_front/pop script
+   behaves exactly like a list-backed deque, across growth and
+   wrap-around. *)
+let test_prop_ring_matches_list_model =
+  let open QCheck2.Gen in
+  let op = int_range 0 3 in
+  qtest "Ring matches a list-model deque" (list_size (int_range 0 400) op) (fun ops ->
+      let r = Ring.create ~dummy:(-1) in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun op ->
+          incr counter;
+          match op with
+          | 0 | 3 ->
+              Ring.push r !counter;
+              model := !model @ [ !counter ]
+          | 1 ->
+              Ring.push_front r !counter;
+              model := !counter :: !model
+          | _ -> (
+              match !model with
+              | [] -> assert (Ring.is_empty r)
+              | x :: rest ->
+                  model := rest;
+                  assert (Ring.pop r = x)))
+        ops;
+      let got = ref [] in
+      Ring.iter r (fun x -> got := x :: !got);
+      List.rev !got = !model && Ring.length r = List.length !model)
+
 let () =
   Alcotest.run "aspipe_util"
     [
@@ -749,6 +813,12 @@ let () =
           test_timeseries_integrate_matches_samples;
           Alcotest.test_case "duplicates" `Quick test_timeseries_duplicate_points;
           Alcotest.test_case "sample grid" `Quick test_timeseries_sample_grid;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "push front" `Quick test_ring_push_front;
+          test_prop_ring_matches_list_model;
         ] );
       ( "properties",
         [
