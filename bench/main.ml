@@ -88,6 +88,7 @@ let micro_tests () =
              let seen = ref 0 in
              ignore (Aspipe_obs.Bus.subscribe bus (fun _ -> incr seen));
              for i = 0 to 999 do
+               (* lint: unguarded-emit-ok microbench of the raw emit cost itself *)
                Aspipe_obs.Bus.emit bus (Aspipe_obs.Event.Completion { item = i })
              done));
       Test.make ~name:"forecast-adaptive-100obs"
@@ -161,6 +162,7 @@ let run_metrics_snapshot ~quick =
 module Json = Aspipe_obs.Json
 module Engine = Aspipe_des.Engine
 
+(* lint: wall-clock-ok the perf harness exists to measure real elapsed time *)
 let wall () = Unix.gettimeofday ()
 
 (* DES microbench: [timers] self-rescheduling callbacks over one engine,

@@ -77,9 +77,12 @@ type par_map_impl = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
 
 let sequential_par_map = { pmap = (fun f xs -> List.map f xs) }
 
-let par_map_hook = ref sequential_par_map
+(* Installed once by the campaign runner before any worker starts, but the
+   read happens on worker domains: the cell must be Atomic, not a ref, so
+   the publication is a proper release/acquire pair. *)
+let par_map_hook = Atomic.make sequential_par_map
 
-let set_par_map impl = par_map_hook := impl
-let reset_par_map () = par_map_hook := sequential_par_map
+let set_par_map impl = Atomic.set par_map_hook impl
+let reset_par_map () = Atomic.set par_map_hook sequential_par_map
 
-let par_map f xs = !par_map_hook.pmap f xs
+let par_map f xs = (Atomic.get par_map_hook).pmap f xs

@@ -74,8 +74,10 @@ type solver_row = {
 }
 
 let time_ms f =
+  (* lint: wall-clock-ok E13 reports real CTMC solver wall-time *)
   let t0 = Unix.gettimeofday () in
   let result = f () in
+  (* lint: wall-clock-ok timing columns are labelled non-reproducible (see CI's drop_wallclock) *)
   (result, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let solver_rows ~quick =

@@ -80,8 +80,10 @@ type e6_row = {
 }
 
 let time_ms f =
+  (* lint: wall-clock-ok E6 measures the real cost of the decision path *)
   let t0 = Unix.gettimeofday () in
   let result = f () in
+  (* lint: wall-clock-ok timing columns are labelled non-reproducible (see CI's drop_wallclock) *)
   (result, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 (* A synthetic cost spec: mildly heterogeneous so searches are non-trivial. *)

@@ -66,11 +66,16 @@ let registry t = t.reg
 
 let snapshot t =
   let now = Bus.now t.bus in
-  if now > 0.0 then
-    Hashtbl.iter
-      (fun node busy ->
+  if now > 0.0 then begin
+    (* Register utilization gauges in node order, not hash order: gauge
+       creation order is registry insertion order, and nothing downstream
+       may depend on where int keys land in a hash table. *)
+    let nodes = Hashtbl.fold (fun node busy acc -> (node, !busy) :: acc) t.busy [] in
+    List.iter
+      (fun (node, busy) ->
         Metrics.Gauge.set
           (Metrics.Gauge.get t.reg (Printf.sprintf "node.%d.utilization" node))
-          (!busy /. now))
-      t.busy;
+          (busy /. now))
+      (List.sort (fun (a, _) (b, _) -> Int.compare a b) nodes)
+  end;
   Metrics.snapshot t.reg

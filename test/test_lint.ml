@@ -1,0 +1,238 @@
+(* Tests for aspipe-lint: one positive / negative / waiver triple per rule
+   (fixtures are inline snippets — the linter is purely syntactic, so they
+   need to parse, not typecheck), severity plumbing, and a self-check that
+   the shipped tree is lint-clean at error severity. *)
+
+module Checker = Aspipe_lint.Checker
+module Driver = Aspipe_lint.Driver
+module Finding = Aspipe_lint.Finding
+module Rules = Aspipe_lint.Rules
+
+let lint ?(path = "lib/demo/demo.ml") source = Checker.check ~path source
+let rules_of findings = List.map (fun f -> f.Finding.rule) findings
+let rule_list = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------- R1 *)
+
+let test_r1_wall_clock () =
+  let src = "let elapsed () = Unix.gettimeofday ()\n" in
+  rule_list "flagged in simulator code" [ "R1" ] (rules_of (lint ~path:"lib/grid/clock.ml" src));
+  rule_list "Sys.time flagged too" [ "R1" ]
+    (rules_of (lint ~path:"lib/core/x.ml" "let t () = Sys.time ()\n"));
+  rule_list "runner allowlisted" [] (rules_of (lint ~path:"lib/runner/pool.ml" src));
+  rule_list "direct-execution engine allowlisted" []
+    (rules_of (lint ~path:"lib/skel/skel_mc.ml" src));
+  rule_list "exp_mc allowlisted" [] (rules_of (lint ~path:"lib/exp/exp_mc.ml" src));
+  let waived = "(* lint: wall-clock-ok measuring a real solve *)\nlet elapsed () = Unix.gettimeofday ()\n" in
+  rule_list "waiver on the line above" [] (rules_of (lint waived))
+
+(* ------------------------------------------------------------------- R2 *)
+
+let test_r2_unordered_iteration () =
+  rule_list "bare Hashtbl.iter flagged" [ "R2" ]
+    (rules_of (lint "let render h = Hashtbl.iter (fun k v -> ignore (k, v)) h\n"));
+  rule_list "Hashtbl.fold flagged" [ "R2" ]
+    (rules_of (lint "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"));
+  rule_list "sort in the same binding passes" []
+    (rules_of
+       (lint "let keys h = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])\n"));
+  rule_list "sort later in the same binding passes" []
+    (rules_of
+       (lint
+          "let render h =\n\
+          \  let acc = ref [] in\n\
+          \  Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) h;\n\
+          \  List.sort compare !acc\n"));
+  rule_list "sort in a different binding does not excuse it" [ "R2" ]
+    (rules_of
+       (lint
+          "let sorted xs = List.sort compare xs\n\
+           let render h = Hashtbl.iter (fun k v -> ignore (k, v)) h\n"));
+  rule_list "same-line waiver" []
+    (rules_of
+       (lint "let total h = Hashtbl.fold (fun _ v a -> v + a) h 0 (* lint: unordered-ok sum commutes *)\n"))
+
+(* ------------------------------------------------------------------- R3 *)
+
+let test_r3_raw_print () =
+  let src = "let banner () = print_endline \"hi\"\n" in
+  rule_list "direct print in lib flagged" [ "R3" ] (rules_of (lint src));
+  rule_list "Stdlib-qualified flagged" [ "R3" ]
+    (rules_of (lint "let f () = Stdlib.print_string \"x\"\n"));
+  rule_list "Printf.printf flagged" [ "R3" ]
+    (rules_of (lint "let f n = Printf.printf \"%d\" n\n"));
+  rule_list "executables may print" [] (rules_of (lint ~path:"bin/aspipe_cli.ml" src));
+  rule_list "bench may print" [] (rules_of (lint ~path:"bench/main.ml" src));
+  rule_list "lib/util/out.ml is the one allowed module" []
+    (rules_of (lint ~path:"lib/util/out.ml" src));
+  rule_list "Out.print_string is the sanctioned route" []
+    (rules_of (lint "let f s = Out.print_string s\n"));
+  rule_list "pp to a formatter is fine" []
+    (rules_of (lint "let pp ppf t = Format.pp_print_string ppf t\n"))
+
+(* ------------------------------------------------------------------- R4 *)
+
+let test_r4_guarded_emit () =
+  rule_list "unguarded per-item emit flagged" [ "R4" ]
+    (rules_of (lint "let f bus item = Bus.emit bus (Event.Completion { item })\n"));
+  rule_list "if Bus.active guard passes" []
+    (rules_of
+       (lint
+          "let f bus item =\n\
+          \  if Bus.active bus then Bus.emit bus (Event.Completion { item })\n"));
+  rule_list "qualified guard and emit pass" []
+    (rules_of
+       (lint
+          "let f bus item =\n\
+          \  if Aspipe_obs.Bus.active bus then\n\
+          \    Aspipe_obs.Bus.emit bus (Aspipe_obs.Event.Completion { item })\n"));
+  rule_list "when Bus.active match guard passes" []
+    (rules_of
+       (lint
+          "let f opt item =\n\
+          \  match opt with\n\
+          \  | Some bus when Bus.active bus -> Bus.emit bus (Event.Completion { item })\n\
+          \  | _ -> ()\n"));
+  rule_list "emit in the else branch stays flagged" [ "R4" ]
+    (rules_of
+       (lint
+          "let f bus item =\n\
+          \  if Bus.active bus then () else Bus.emit bus (Event.Completion { item })\n"));
+  rule_list "control events are exempt" []
+    (rules_of (lint "let f bus node = Bus.emit bus (Event.Node_crashed { node })\n"));
+  rule_list "adaptation decisions are control events" []
+    (rules_of
+       (lint
+          "let f bus m t =\n\
+          \  Bus.emit bus (Event.Adaptation_rejected { mapping = m; observed_throughput = t })\n"));
+  rule_list "waiver" []
+    (rules_of
+       (lint
+          "let f bus item =\n\
+          \  (* lint: unguarded-emit-ok exercising the emit path itself *)\n\
+          \  Bus.emit bus (Event.Completion { item })\n"))
+
+(* ------------------------------------------------------------------- R5 *)
+
+let test_r5_shared_state () =
+  rule_list "structure-level ref flagged" [ "R5" ]
+    (rules_of (lint "let hook = ref None\n"));
+  rule_list "structure-level Hashtbl flagged" [ "R5" ]
+    (rules_of (lint "let table = Hashtbl.create 16\n"));
+  rule_list "annotated binding still flagged" [ "R5" ]
+    (rules_of (lint "let cell : int ref = ref 0\n"));
+  rule_list "Atomic passes" [] (rules_of (lint "let counter = Atomic.make 0\n"));
+  rule_list "Domain.DLS passes" []
+    (rules_of (lint "let key = Domain.DLS.new_key (fun () -> ref [])\n"));
+  rule_list "locals are fine" []
+    (rules_of (lint "let f xs = let acc = ref 0 in List.iter (fun x -> acc := !acc + x) xs; !acc\n"));
+  rule_list "constructor functions are fine" []
+    (rules_of (lint "let create () = Hashtbl.create 16\n"));
+  rule_list "nested module state flagged" [ "R5" ]
+    (rules_of (lint "module M = struct let cache = Hashtbl.create 8 end\n"));
+  rule_list "outside lib/ not in scope" []
+    (rules_of (lint ~path:"bench/main.ml" "let hook = ref None\n"));
+  rule_list "waiver" []
+    (rules_of (lint "(* lint: shared-state-ok guarded by the pool's init barrier *)\nlet hook = ref None\n"))
+
+(* ------------------------------------------------------------------- R6 *)
+
+let test_r6_banned () =
+  rule_list "Obj.magic flagged" [ "R6" ] (rules_of (lint "let f x = Obj.magic x\n"));
+  rule_list "Random.self_init flagged" [ "R6" ]
+    (rules_of (lint "let seed () = Random.self_init ()\n"));
+  rule_list "physical equality flagged" [ "R6" ] (rules_of (lint "let f a b = a == b\n"));
+  rule_list "physical inequality flagged" [ "R6" ] (rules_of (lint "let f a b = a != b\n"));
+  rule_list "structural equality fine" [] (rules_of (lint "let f a b = a = b\n"));
+  rule_list "waiver" []
+    (rules_of (lint "let f a b = a == b (* lint: banned-ok interned sentinel compare *)\n"))
+
+(* ------------------------------------------- parsing, severities, driver *)
+
+let test_syntax_error_is_a_finding () =
+  match lint "let let let\n" with
+  | [ f ] ->
+      Alcotest.(check string) "rule id" "syntax" f.Finding.rule;
+      Alcotest.(check bool) "error severity" true (f.Finding.severity = Finding.Error)
+  | other -> Alcotest.failf "expected one syntax finding, got %d" (List.length other)
+
+let test_mli_parses_as_interface () =
+  rule_list "interfaces lint clean" []
+    (rules_of (lint ~path:"lib/demo/demo.mli" "val f : int -> int\n"))
+
+let test_severity_overrides () =
+  let src = "let render h = Hashtbl.iter (fun k v -> ignore (k, v)) h\n" in
+  let with_sev severities =
+    Driver.check_source { Driver.default with severities } ~path:"lib/demo/demo.ml" src
+  in
+  (match with_sev [ ("R2", Some Finding.Warning) ] with
+  | [ f ] -> Alcotest.(check bool) "downgraded" true (f.Finding.severity = Finding.Warning)
+  | other -> Alcotest.failf "expected one finding, got %d" (List.length other));
+  rule_list "off" [] (rules_of (with_sev [ ("R2", None) ]));
+  let only_r1 =
+    Driver.check_source { Driver.default with rules = Some [ "R1" ] } ~path:"lib/demo/demo.ml" src
+  in
+  rule_list "rule selection drops others" [] (rules_of only_r1)
+
+let test_rule_catalogue_consistent () =
+  Alcotest.(check (list string)) "ids are R1..R6" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ] Rules.ids;
+  let slugs = List.map (fun r -> r.Rules.slug) Rules.all in
+  Alcotest.(check (list string)) "slugs are distinct" (List.sort_uniq compare slugs)
+    (List.sort compare slugs)
+
+(* ------------------------------------------------------------ self-check *)
+
+(* The repo root: walk up from cwd past _build (tests run in
+   _build/default/test) to the first directory holding dune-project and
+   the real source tree. *)
+let repo_root () =
+  let inside_build dir =
+    let rec has = function
+      | "/" | "." -> false
+      | d -> Filename.basename d = "_build" || has (Filename.dirname d)
+    in
+    has dir
+  in
+  let rec up dir =
+    if
+      (not (inside_build dir))
+      && Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_tree_is_lint_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate the repository root from the test cwd"
+  | Some root ->
+      let report = Driver.scan { Driver.default with root } in
+      Alcotest.(check bool) "scanned a real tree" true (report.Driver.files_scanned > 100);
+      if report.Driver.findings <> [] then
+        Alcotest.failf "tree has lint findings:\n%s" (Driver.render_text report)
+
+let () =
+  Alcotest.run "aspipe_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 no-wall-clock" `Quick test_r1_wall_clock;
+          Alcotest.test_case "R2 deterministic-iteration" `Quick test_r2_unordered_iteration;
+          Alcotest.test_case "R3 no-raw-print" `Quick test_r3_raw_print;
+          Alcotest.test_case "R4 guarded-hot-emit" `Quick test_r4_guarded_emit;
+          Alcotest.test_case "R5 domain-safety" `Quick test_r5_shared_state;
+          Alcotest.test_case "R6 banned-construct" `Quick test_r6_banned;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "syntax errors surface" `Quick test_syntax_error_is_a_finding;
+          Alcotest.test_case "mli parses" `Quick test_mli_parses_as_interface;
+          Alcotest.test_case "severity overrides" `Quick test_severity_overrides;
+          Alcotest.test_case "catalogue consistent" `Quick test_rule_catalogue_consistent;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "shipped tree is lint-clean" `Quick test_tree_is_lint_clean ] );
+    ]

@@ -302,6 +302,31 @@ let test_meter_counts_completions () =
       Alcotest.(check bool) "service-time histograms present" true
         (List.mem_assoc "stage.0.service_time" snapshot.Metrics.histograms)
 
+(* Golden determinism test for the meter-ordering fix: utilization gauges
+   register in sorted node order, so the rendered snapshot cannot depend on
+   the order nodes first appear in the event stream (hash order). *)
+let test_meter_snapshot_order_independent () =
+  let snapshot_for nodes =
+    let clock = ref 0.0 in
+    let bus = Bus.create ~clock:(fun () -> !clock) () in
+    let meter = Meter.attach bus in
+    List.iter
+      (fun node ->
+        clock := !clock +. 1.0;
+        Bus.emit bus (Event.Service_finish { item = node; stage = 0; node; start = !clock -. 0.5 }))
+      nodes;
+    Meter.snapshot meter
+  in
+  let ascending = snapshot_for [ 0; 1; 2; 3; 5; 8; 13 ] in
+  let scrambled = snapshot_for [ 13; 5; 0; 8; 2; 1; 3 ] in
+  Alcotest.(check string) "rendered snapshot independent of node arrival order"
+    (Metrics.render ascending) (Metrics.render scrambled);
+  let gauge_names = List.map fst ascending.Metrics.gauges in
+  Alcotest.(check (list string)) "utilization gauges come out sorted"
+    (List.sort compare gauge_names) gauge_names;
+  Alcotest.(check bool) "utilization gauges present" true
+    (List.mem_assoc "node.13.utilization" ascending.Metrics.gauges)
+
 let () =
   Alcotest.run "aspipe_obs"
     [
@@ -337,5 +362,7 @@ let () =
             test_instrumentation_does_not_change_run;
           Alcotest.test_case "trace-event valid" `Quick test_trace_event_export_valid;
           Alcotest.test_case "meter counts" `Quick test_meter_counts_completions;
+          Alcotest.test_case "meter snapshot order-independent" `Quick
+            test_meter_snapshot_order_independent;
         ] );
     ]

@@ -1,0 +1,91 @@
+(* aspipe-lint: static analysis enforcing the repo's determinism,
+   domain-safety and observability invariants (rules R1..R6; see DESIGN.md
+   "Static analysis" and `--list-rules`).
+
+   Usage: dune build @lint                       (lint the whole tree)
+          dune exec tools/lint/aspipe_lint_cli.exe -- --root . [--json]
+          ... --severity R2=warning --severity R6=off
+          ... --rules R1,R3 lib                  (subset of rules / roots)
+
+   Exit status: 0 when no error-severity finding, 1 otherwise, 2 on usage
+   or I/O errors. *)
+
+module Driver = Aspipe_lint.Driver
+module Finding = Aspipe_lint.Finding
+module Rules = Aspipe_lint.Rules
+
+let usage = "aspipe-lint [options] [scan-roots]"
+
+let () =
+  let root = ref "." in
+  let json = ref false in
+  let out = ref None in
+  let severities = ref [] in
+  let rules = ref None in
+  let roots = ref [] in
+  let list_rules = ref false in
+  let fail msg =
+    prerr_endline ("aspipe-lint: " ^ msg);
+    exit 2
+  in
+  let set_severity spec =
+    match String.index_opt spec '=' with
+    | None -> fail (Printf.sprintf "--severity expects RULE=error|warning|off, got %S" spec)
+    | Some i ->
+        let rule = String.sub spec 0 i in
+        let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+        if Rules.find rule = None then fail (Printf.sprintf "unknown rule %S" rule);
+        let severity =
+          match level with
+          | "error" -> Some Finding.Error
+          | "warning" | "warn" -> Some Finding.Warning
+          | "off" -> None
+          | other -> fail (Printf.sprintf "unknown severity %S" other)
+        in
+        severities := (rule, severity) :: !severities
+  in
+  let set_rules spec =
+    let ids = String.split_on_char ',' spec in
+    List.iter (fun id -> if Rules.find id = None then fail (Printf.sprintf "unknown rule %S" id)) ids;
+    rules := Some ids
+  in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ("--json", Arg.Set json, " render the report as JSON instead of text");
+      ("--out", Arg.String (fun f -> out := Some f), "FILE also write the report to FILE");
+      ( "--severity",
+        Arg.String set_severity,
+        "RULE=LEVEL override a rule's severity: error, warning or off (repeatable)" );
+      ("--rules", Arg.String set_rules, "IDS comma-separated rule ids to run (default: all)");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun dir -> roots := dir :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rules.t) ->
+        Printf.printf "%s %-26s waiver `(* lint: %s ... *)`\n    %s\n" r.id r.name r.slug r.summary)
+      Rules.all;
+    exit 0
+  end;
+  let options =
+    {
+      Driver.root = !root;
+      roots = (match List.rev !roots with [] -> Driver.default.Driver.roots | rs -> rs);
+      rules = !rules;
+      severities = !severities;
+    }
+  in
+  match Driver.scan options with
+  | exception Failure msg -> fail msg
+  | report ->
+      let rendered =
+        if !json then Driver.render_json options report else Driver.render_text report
+      in
+      print_string rendered;
+      (match !out with
+      | Some file ->
+          Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc rendered)
+      | None -> ());
+      exit (if Driver.errors report > 0 then 1 else 0)

@@ -1,0 +1,252 @@
+(* The per-file AST walk implementing R1..R6.
+
+   Files are parsed with compiler-libs ([Parse.implementation] /
+   [Parse.interface]) and walked with [Ast_iterator]. The analysis is
+   purely syntactic — no typing pass — which keeps it fast and lets tests
+   feed it fixture snippets that never typecheck; the cost is that two of
+   the rules are heuristics and say so in their messages:
+
+   - R2 accepts an unordered [Hashtbl.iter]/[Hashtbl.fold] when the same
+     structure-level binding also applies a sort ([Config.sort_suffixes]) —
+     the witness that entries are ordered before anything renders them;
+   - R4 recognises guards syntactically: the then-branch of an
+     [if ... Bus.active ...] conditional or the body of a [when ...
+     Bus.active ...] match case.
+
+   The walk keeps three depth counters:
+   - [guard_depth] > 0 inside a Bus.active-guarded region (R4);
+   - [sort_depth]  > 0 inside a structure-level binding whose subtree
+     applies a sort (R2);
+   - [expr_depth]  > 0 inside any expression, so R5 fires only on
+     structure-level bindings (module state), never on locals — including
+     locals of [let module M = struct ... end in ...]. *)
+
+open Parsetree
+
+type ctx = {
+  path : string;
+  waivers : Waivers.t;
+  mutable findings : Finding.t list;
+  mutable guard_depth : int;
+  mutable sort_depth : int;
+  mutable expr_depth : int;
+}
+
+let rec flatten (lid : Longident.t) =
+  match lid with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply (a, b) -> flatten a @ flatten b
+
+let flat lid = String.concat "." (flatten lid)
+
+let ends_with ~suffix parts =
+  let np = List.length parts and ns = List.length suffix in
+  np >= ns && List.filteri (fun i _ -> i >= np - ns) parts = suffix
+
+let is_bus_active lid = ends_with ~suffix:[ "Bus"; "active" ] (flatten lid)
+let is_bus_emit lid = ends_with ~suffix:[ "Bus"; "emit" ] (flatten lid)
+
+let is_sort lid =
+  let parts = flatten lid in
+  List.exists (fun suffix -> ends_with ~suffix parts) Config.sort_suffixes
+
+(* Does [e] mention an identifier satisfying [pred]? *)
+let expr_mentions pred e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.pexp_desc with
+          | Pexp_ident { txt; _ } when pred txt -> found := true
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+let item_mentions pred item =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.pexp_desc with
+          | Pexp_ident { txt; _ } when pred txt -> found := true
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.structure_item it item;
+  !found
+
+let report ctx rule_id (loc : Location.t) message =
+  let rule = Rules.get rule_id in
+  let line = loc.loc_start.pos_lnum in
+  let col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+  if not (Waivers.allows ctx.waivers ~line ~slug:rule.Rules.slug) then
+    ctx.findings <-
+      { Finding.rule = rule.Rules.id; severity = Finding.Error; file = ctx.path; line; col; message }
+      :: ctx.findings
+
+(* R1, R2, R3, R6 are pure identifier rules. *)
+let check_ident ctx (loc : Location.t) lid =
+  let parts = flatten lid in
+  let name = String.concat "." parts in
+  if List.mem name Config.wall_clock_idents && not (Config.wall_clock_allowed ctx.path) then
+    report ctx "R1" loc
+      (Printf.sprintf
+         "%s reads the wall clock; virtual-time code takes time from the DES engine \
+          (waive with `(* lint: wall-clock-ok ... *)` where real elapsed time is the point)"
+         name);
+  if List.mem name Config.unordered_walk_idents && ctx.sort_depth = 0 then
+    report ctx "R2" loc
+      (Printf.sprintf
+         "%s walks a hash table in hash order and no sort appears in the enclosing \
+          binding; sort before rendering or waive with `(* lint: unordered-ok ... *)`"
+         name);
+  if Config.raw_print_scope ctx.path && List.mem name Config.raw_print_idents then
+    report ctx "R3" loc
+      (Printf.sprintf
+         "%s writes to stdout directly; library code prints through Aspipe_util.Out \
+          so --jobs N capture stays byte-identical"
+         name);
+  if List.mem name Config.banned_idents then
+    report ctx "R6" loc (Printf.sprintf "%s is banned in this tree" name);
+  match parts with
+  | [ op ] when List.mem op Config.banned_operators ->
+      report ctx "R6" loc
+        (Printf.sprintf
+           "physical (in)equality (%s) on structured values is representation-dependent; \
+            use =, <> or compare"
+           op)
+  | _ -> ()
+
+(* The payload constructor of [Bus.emit bus (Event.Ctor {...})], if the
+   argument is a literal construction. *)
+let rec payload_constructor e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+      match List.rev (flatten txt) with c :: _ -> Some c | [] -> None)
+  | Pexp_constraint (inner, _) | Pexp_open (_, inner) -> payload_constructor inner
+  | _ -> None
+
+let check_emit ctx e args =
+  if ctx.guard_depth = 0 then
+    match args with
+    | _ :: (_, payload) :: _ -> (
+        match payload_constructor payload with
+        | Some ctor when List.mem ctor Config.control_events -> ()
+        | Some ctor ->
+            report ctx "R4" e.pexp_loc
+              (Printf.sprintf
+                 "per-item Bus.emit of %s outside an `if Bus.active ...` guard; guard it, \
+                  or waive with `(* lint: unguarded-emit-ok ... *)` if it is a control path"
+                 ctor)
+        | None ->
+            report ctx "R4" e.pexp_loc
+              "Bus.emit with a non-literal payload outside an `if Bus.active ...` guard")
+    | _ ->
+        report ctx "R4" e.pexp_loc
+          "partially applied Bus.emit outside an `if Bus.active ...` guard"
+
+let expr_handler ctx (self : Ast_iterator.iterator) e =
+  ctx.expr_depth <- ctx.expr_depth + 1;
+  (match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc txt
+  | _ -> ());
+  (match e.pexp_desc with
+  | Pexp_ifthenelse (cond, then_, else_) when expr_mentions is_bus_active cond ->
+      self.expr self cond;
+      ctx.guard_depth <- ctx.guard_depth + 1;
+      self.expr self then_;
+      ctx.guard_depth <- ctx.guard_depth - 1;
+      Option.iter (self.expr self) else_
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) when is_bus_emit txt ->
+      check_emit ctx e args;
+      Ast_iterator.default_iterator.expr self e
+  | _ -> Ast_iterator.default_iterator.expr self e);
+  ctx.expr_depth <- ctx.expr_depth - 1
+
+let case_handler ctx (self : Ast_iterator.iterator) (c : case) =
+  match c.pc_guard with
+  | Some guard when expr_mentions is_bus_active guard ->
+      self.pat self c.pc_lhs;
+      self.expr self guard;
+      ctx.guard_depth <- ctx.guard_depth + 1;
+      self.expr self c.pc_rhs;
+      ctx.guard_depth <- ctx.guard_depth - 1
+  | _ -> Ast_iterator.default_iterator.case self c
+
+(* The head application of a binding's right-hand side, through type
+   constraints: [let t : ty = Hashtbl.create 8] has head "Hashtbl.create". *)
+let binding_head e =
+  let rec peel e =
+    match e.pexp_desc with Pexp_constraint (inner, _) -> peel inner | _ -> e
+  in
+  match (peel e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> Some (flat txt)
+  | _ -> None
+
+let structure_item_handler ctx (self : Ast_iterator.iterator) item =
+  (match item.pstr_desc with
+  | Pstr_value (_, bindings) when ctx.expr_depth = 0 && Config.shared_state_scope ctx.path ->
+      List.iter
+        (fun vb ->
+          match binding_head vb.pvb_expr with
+          | Some head when List.mem head Config.shared_state_heads ->
+              report ctx "R5" vb.pvb_loc
+                (Printf.sprintf
+                   "structure-level `%s` is state shared across campaign worker domains; \
+                    use Atomic.t or Domain.DLS, or waive with `(* lint: shared-state-ok ... *)`"
+                   head)
+          | _ -> ())
+        bindings
+  | _ -> ());
+  let sorted =
+    match item.pstr_desc with Pstr_value _ -> item_mentions is_sort item | _ -> false
+  in
+  if sorted then ctx.sort_depth <- ctx.sort_depth + 1;
+  Ast_iterator.default_iterator.structure_item self item;
+  if sorted then ctx.sort_depth <- ctx.sort_depth - 1
+
+let check ~path source =
+  let ctx =
+    {
+      path;
+      waivers = Waivers.scan source;
+      findings = [];
+      guard_depth = 0;
+      sort_depth = 0;
+      expr_depth = 0;
+    }
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_handler ctx;
+      case = case_handler ctx;
+      structure_item = structure_item_handler ctx;
+    }
+  in
+  (try
+     let lexbuf = Lexing.from_string source in
+     Location.init lexbuf path;
+     if Filename.check_suffix path ".mli" then
+       iterator.signature iterator (Parse.interface lexbuf)
+     else iterator.structure iterator (Parse.implementation lexbuf)
+   with exn ->
+     let line, message =
+       match exn with
+       | Syntaxerr.Error err ->
+           ((Syntaxerr.location_of_error err).loc_start.pos_lnum, "syntax error")
+       | Lexer.Error (_, loc) -> (loc.loc_start.pos_lnum, "lexer error")
+       | exn -> (1, "unparseable: " ^ Printexc.to_string exn)
+     in
+     ctx.findings <-
+       [ { Finding.rule = "syntax"; severity = Finding.Error; file = path; line; col = 0; message } ]);
+  List.sort Finding.compare ctx.findings

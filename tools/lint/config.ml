@@ -1,0 +1,78 @@
+(* Rule scopes and allowlists: where each rule applies and which names it
+   watches. These encode the repo's conventions (DESIGN.md, "Static
+   analysis"); changing a list here is a convention change and should come
+   with a DESIGN.md update. All paths are root-relative, '/'-separated. *)
+
+let scan_roots = [ "lib"; "bin"; "bench" ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* ---------------------------------------------------- R1 no-wall-clock *)
+
+let wall_clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+(* The campaign runner times real work on real domains, and the _mc
+   direct-execution engines exist to measure real speedup; everything else
+   takes time from the DES engine's virtual clock. *)
+let wall_clock_allowed path =
+  starts_with ~prefix:"lib/runner/" path
+  || path = "lib/skel/skel_mc.ml"
+  || path = "lib/exp/exp_mc.ml"
+
+(* -------------------------------------------- R2 deterministic-iteration *)
+
+let unordered_walk_idents = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+(* Presence of any of these in the same structure-level binding is the
+   (heuristic) witness that the walked entries are sorted before use. *)
+let sort_suffixes =
+  [
+    [ "List"; "sort" ];
+    [ "List"; "stable_sort" ];
+    [ "List"; "sort_uniq" ];
+    [ "Array"; "sort" ];
+    [ "Array"; "stable_sort" ];
+  ]
+
+(* ------------------------------------------------------ R3 no-raw-print *)
+
+let raw_print_scope path = starts_with ~prefix:"lib/" path && path <> "lib/util/out.ml"
+
+let raw_print_idents =
+  let bare =
+    [
+      "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
+      "print_float"; "print_bytes"; "printf";
+    ]
+  in
+  bare
+  @ List.map (fun n -> "Stdlib." ^ n) bare
+  @ [ "Printf.printf"; "Format.printf"; "Format.print_string"; "Format.print_newline" ]
+
+(* --------------------------------------------------- R4 guarded-hot-emit *)
+
+(* Sparse control events may be emitted unguarded: Control-interest sinks
+   (the fault machinery, the trace's adaptation record) must see them even
+   on an otherwise silent bus (see lib/obs/bus.mli). Everything else is
+   per-item hot-path traffic and must be guarded by Bus.active. *)
+let control_events =
+  [
+    "Node_crashed"; "Node_recovered"; "Adaptation_considered"; "Adaptation_committed";
+    "Adaptation_rejected"; "Failover_committed";
+  ]
+
+(* ------------------------------------------------------ R5 domain-safety *)
+
+(* Campaign jobs run experiment closures on worker domains, and those
+   closures reach essentially every library module; structure-level mutable
+   state anywhere in lib/ is therefore shared across domains. *)
+let shared_state_scope path = starts_with ~prefix:"lib/" path
+
+let shared_state_heads =
+  [ "ref"; "Stdlib.ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create" ]
+
+(* -------------------------------------------------- R6 banned-construct *)
+
+let banned_idents = [ "Obj.magic"; "Obj.repr"; "Random.self_init" ]
+let banned_operators = [ "=="; "!=" ]

@@ -1,0 +1,21 @@
+(** Rule scopes and allowlists (root-relative, '/'-separated paths). *)
+
+val scan_roots : string list
+(** Directories linted by default: [lib], [bin], [bench]. *)
+
+val wall_clock_idents : string list
+val wall_clock_allowed : string -> bool
+
+val unordered_walk_idents : string list
+val sort_suffixes : string list list
+
+val raw_print_scope : string -> bool
+val raw_print_idents : string list
+
+val control_events : string list
+
+val shared_state_scope : string -> bool
+val shared_state_heads : string list
+
+val banned_idents : string list
+val banned_operators : string list

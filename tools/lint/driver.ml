@@ -1,0 +1,100 @@
+(* Tree scan + reporting: walk the scan roots, check every .ml/.mli, apply
+   severity overrides, and render the result as text or JSON. *)
+
+type options = {
+  root : string;  (* repository root *)
+  roots : string list;  (* scan roots relative to [root] *)
+  rules : string list option;  (* only these rule ids (syntax always on) *)
+  severities : (string * Finding.severity option) list;
+      (* per-rule overrides; [None] switches the rule off *)
+}
+
+let default = { root = "."; roots = Config.scan_roots; rules = None; severities = [] }
+
+let resolve opts (f : Finding.t) =
+  let enabled =
+    f.rule = "syntax"
+    || match opts.rules with None -> true | Some ids -> List.mem f.rule ids
+  in
+  if not enabled then None
+  else
+    match List.assoc_opt f.rule opts.severities with
+    | Some None -> None
+    | Some (Some severity) -> Some { f with severity }
+    | None -> Some f
+
+let check_source opts ~path source =
+  List.filter_map (resolve opts) (Checker.check ~path source)
+
+type report = { files_scanned : int; findings : Finding.t list }
+
+let errors r =
+  List.length (List.filter (fun f -> f.Finding.severity = Finding.Error) r.findings)
+
+let warnings r =
+  List.length (List.filter (fun f -> f.Finding.severity = Finding.Warning) r.findings)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Sorted, deterministic directory walk; [rel] keeps '/'-separated
+   root-relative names for scope matching and reporting. *)
+let rec collect ~dir ~rel acc =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc name ->
+      let abs = Filename.concat dir name and r = rel ^ "/" ^ name in
+      if Sys.is_directory abs then collect ~dir:abs ~rel:r acc
+      else if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli" then
+        (abs, r) :: acc
+      else acc)
+    acc entries
+
+let scan opts =
+  let files =
+    List.concat_map
+      (fun r ->
+        let dir = Filename.concat opts.root r in
+        if not (Sys.file_exists dir && Sys.is_directory dir) then
+          failwith (Printf.sprintf "aspipe-lint: scan root %S not found under %S" r opts.root);
+        collect ~dir ~rel:r [])
+      opts.roots
+  in
+  let files = List.sort compare files in
+  let findings =
+    List.concat_map (fun (abs, rel) -> check_source opts ~path:rel (read_file abs)) files
+  in
+  { files_scanned = List.length files; findings = List.sort Finding.compare findings }
+
+let summary_line r =
+  Printf.sprintf "aspipe-lint: %d files scanned, %d errors, %d warnings" r.files_scanned
+    (errors r) (warnings r)
+
+let render_text r =
+  let buffer = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buffer (Finding.to_string f);
+      Buffer.add_char buffer '\n')
+    r.findings;
+  Buffer.add_string buffer (summary_line r);
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let to_json opts r =
+  Aspipe_obs.Json.Obj
+    [
+      ("tool", Aspipe_obs.Json.String "aspipe-lint");
+      ("version", Aspipe_obs.Json.Int 1);
+      ("roots", Aspipe_obs.Json.List (List.map (fun s -> Aspipe_obs.Json.String s) opts.roots));
+      ("files_scanned", Aspipe_obs.Json.Int r.files_scanned);
+      ("findings", Aspipe_obs.Json.List (List.map Finding.to_json r.findings));
+      ( "summary",
+        Aspipe_obs.Json.Obj
+          [
+            ("errors", Aspipe_obs.Json.Int (errors r));
+            ("warnings", Aspipe_obs.Json.Int (warnings r));
+          ] );
+    ]
+
+let render_json opts r = Aspipe_obs.Json.to_string (to_json opts r) ^ "\n"

@@ -1,0 +1,28 @@
+(** Tree scan + reporting. *)
+
+type options = {
+  root : string;  (** repository root *)
+  roots : string list;  (** scan roots relative to [root] *)
+  rules : string list option;  (** run only these rule ids; ["syntax"] is always on *)
+  severities : (string * Finding.severity option) list;
+      (** per-rule severity overrides; [None] switches the rule off *)
+}
+
+val default : options
+(** Root ["."], roots [Config.scan_roots], all rules at error severity. *)
+
+val check_source : options -> path:string -> string -> Finding.t list
+(** Lint one in-memory source under [options]; [path] is the
+    root-relative name the rule scopes key on. *)
+
+type report = { files_scanned : int; findings : Finding.t list }
+
+val scan : options -> report
+(** Walk the scan roots (deterministic order) and lint every .ml/.mli.
+    @raise Failure when a scan root is missing. *)
+
+val errors : report -> int
+val warnings : report -> int
+val summary_line : report -> string
+val render_text : report -> string
+val render_json : options -> report -> string

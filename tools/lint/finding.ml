@@ -1,0 +1,39 @@
+(* A lint finding: one rule violation at one source location. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : string;  (* "R1".."R6", or "syntax" for unparseable input *)
+  severity : severity;
+  file : string;  (* root-relative, '/'-separated *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" t.file t.line t.col t.rule
+    (severity_to_string t.severity) t.message
+
+let to_json t =
+  Aspipe_obs.Json.Obj
+    [
+      ("file", Aspipe_obs.Json.String t.file);
+      ("line", Aspipe_obs.Json.Int t.line);
+      ("col", Aspipe_obs.Json.Int t.col);
+      ("rule", Aspipe_obs.Json.String t.rule);
+      ("severity", Aspipe_obs.Json.String (severity_to_string t.severity));
+      ("message", Aspipe_obs.Json.String t.message);
+    ]

@@ -1,0 +1,22 @@
+(** One rule violation at one source location. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type t = {
+  rule : string;  (** "R1".."R6", or "syntax" for unparseable input *)
+  severity : severity;
+  file : string;  (** root-relative, '/'-separated *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val compare : t -> t -> int
+(** File, then line, then column, then rule id. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] severity: message] — the text report line. *)
+
+val to_json : t -> Aspipe_obs.Json.t

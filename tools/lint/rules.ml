@@ -1,0 +1,82 @@
+(* The rule catalogue. Every rule has a stable id (used in reports and
+   severity overrides) and a waiver slug: a comment
+
+     (* lint: <slug> <justification> *)
+
+   on the flagged line or the line directly above suppresses the finding.
+   The scopes and allowlists each rule closes over live in [Config]; the
+   catalogue here is what `--list-rules` and DESIGN.md document. *)
+
+type t = {
+  id : string;
+  name : string;
+  slug : string;  (* waiver token *)
+  summary : string;
+}
+
+let all =
+  [
+    {
+      id = "R1";
+      name = "no-wall-clock";
+      slug = "wall-clock-ok";
+      summary =
+        "virtual-time code must not read the wall clock \
+         (Unix.gettimeofday/Unix.time/Sys.time); only the runner and the \
+         direct-execution engines (lib/runner/, lib/skel/skel_mc.ml, \
+         lib/exp/exp_mc.ml) measure real elapsed time";
+    };
+    {
+      id = "R2";
+      name = "deterministic-iteration";
+      slug = "unordered-ok";
+      summary =
+        "Hashtbl.iter/Hashtbl.fold walk in hash order; the enclosing \
+         structure-level binding must sort the result (List.sort/Array.sort) \
+         before anything renders it";
+    };
+    {
+      id = "R3";
+      name = "no-raw-print";
+      slug = "raw-print-ok";
+      summary =
+        "library code prints only through Aspipe_util.Out (so --jobs N \
+         capture stays byte-identical with --jobs 1); stdout printers are \
+         allowed only in lib/util/out.ml";
+    };
+    {
+      id = "R4";
+      name = "guarded-hot-emit";
+      slug = "unguarded-emit-ok";
+      summary =
+        "per-item Bus.emit call sites must sit under an `if Bus.active ...` \
+         (or `when Bus.active ...`) guard; sparse control events \
+         (crash/recovery, adaptation decisions, failover) are exempt";
+    };
+    {
+      id = "R5";
+      name = "domain-safety";
+      slug = "shared-state-ok";
+      summary =
+        "structure-level ref/Hashtbl.create/Buffer.create/Queue.create \
+         bindings in lib/ are state shared across campaign worker domains; \
+         they must be Atomic.t or Domain.DLS";
+    };
+    {
+      id = "R6";
+      name = "banned-construct";
+      slug = "banned-ok";
+      summary =
+        "Obj.magic/Obj.repr, Random.self_init and physical (in)equality \
+         (==/!=) are banned: each one breaks reproducibility or type safety";
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let get id =
+  match find id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Rules.get: unknown rule %S" id)
+
+let ids = List.map (fun r -> r.id) all

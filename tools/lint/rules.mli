@@ -1,0 +1,15 @@
+(** The rule catalogue: stable ids, waiver slugs, one-line summaries. *)
+
+type t = {
+  id : string;  (** "R1".."R6" *)
+  name : string;  (** short kebab-case name, e.g. "no-wall-clock" *)
+  slug : string;  (** waiver token accepted in [(* lint: <slug> ... *)] *)
+  summary : string;
+}
+
+val all : t list
+val find : string -> t option
+val get : string -> t
+(** Like {!find}; raises [Invalid_argument] on an unknown id. *)
+
+val ids : string list

@@ -1,0 +1,47 @@
+(* Waiver comments.
+
+   A finding on line L is suppressed when the waiver comment
+
+     (* lint: <slug> <free-text justification> *)
+
+   appears on line L (trailing the flagged code) or on line L-1 (a comment
+   of its own above it). The slug is the rule's waiver token (Rules.all);
+   the justification is free text, and writing one is the point — every
+   waiver documents an invariant exception that used to be folklore. One
+   comment carries one slug; stack comments to waive several rules. *)
+
+type t = (int * string) list  (* (line, slug), 1-based lines *)
+
+let marker = "(* lint:"
+
+let is_slug_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* All slugs on one line: every occurrence of the marker, first
+   whitespace-separated token after it. *)
+let slugs_of_line line =
+  let n = String.length line in
+  let rec find_from i acc =
+    if i >= n then acc
+    else
+      match String.index_from_opt line i '(' with
+      | None -> acc
+      | Some j ->
+          if j + String.length marker <= n && String.sub line j (String.length marker) = marker
+          then begin
+            let k = ref (j + String.length marker) in
+            while !k < n && line.[!k] = ' ' do incr k done;
+            let start = !k in
+            while !k < n && is_slug_char line.[!k] do incr k done;
+            let acc = if !k > start then String.sub line start (!k - start) :: acc else acc in
+            find_from !k acc
+          end
+          else find_from (j + 1) acc
+  in
+  find_from 0 []
+
+let scan source : t =
+  let lines = String.split_on_char '\n' source in
+  List.concat (List.mapi (fun i line -> List.map (fun s -> (i + 1, s)) (slugs_of_line line)) lines)
+
+let allows t ~line ~slug =
+  List.exists (fun (l, s) -> s = slug && (l = line || l = line - 1)) t

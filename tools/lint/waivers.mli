@@ -1,0 +1,11 @@
+(** Waiver comments: [(* lint: <slug> <justification> *)] on the flagged
+    line or the line directly above suppresses that rule's finding. *)
+
+type t
+
+val scan : string -> t
+(** Collect all waivers in a source file. *)
+
+val allows : t -> line:int -> slug:string -> bool
+(** [true] when [slug] is waived for a finding on [line] (the waiver sits
+    on [line] itself or on [line - 1]). *)
