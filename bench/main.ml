@@ -17,15 +17,24 @@
                                                    from disk)
           dune exec bench/main.exe -- --skip-micro
 
-   Perf harness (see DESIGN.md "Performance" for the BENCH_4.json schema;
-   run under `--profile release` — the dev profile's -opaque disables the
-   cross-module inlining the hot path is built around):
+   Perf harness (see DESIGN.md "Performance" for the aspipe-bench/1
+   schema; run under `--profile release` — the dev profile's -opaque
+   disables the cross-module inlining the hot path is built around):
 
           dune exec --profile release bench/main.exe -- --perf --quick
-          ... --perf --perf-out FILE          (default BENCH_4.json)
+          ... --perf --perf-out FILE          (default BENCH_5.json)
           ... --perf --perf-baseline FILE    (compare against a committed
-                                              BENCH_4.json; exit 1 on >25%
-                                              events/sec regression) *)
+                                              BENCH_5.json or BENCH_4.json;
+                                              exit 1 on >25% events/sec
+                                              regression)
+          ... --jobs-sweep [--quick]         (campaign wall time at
+                                              jobs 1/2/4/N, written as the
+                                              campaign.sweep array; exit 1
+                                              if jobs 4 is slower than
+                                              jobs 1)
+          ... --oversubscribe                (lift the campaign runner's
+                                              worker cap at the core
+                                              count) *)
 
 open Bechamel
 open Toolkit
@@ -260,6 +269,124 @@ let float_member path json =
   in
   walk json path
 
+(* --- jobs sweep -------------------------------------------------------- *)
+
+(* Campaign wall time as a function of requested parallelism: jobs 1, 2, 4
+   and the recommended domain count, best of [reps] runs each (reports are
+   discarded — campaign output is byte-identical across jobs by
+   construction, which dune runtest verifies separately). Points run in
+   ascending jobs order, so any warm-up bias (page cache, code paths)
+   favours jobs 1 and works *against* the speedup the gate demands. *)
+
+type sweep_point = { sjobs : int; sworkers : int; swall : float }
+
+let run_sweep ~quick ~oversubscribe ~reps =
+  let cores = Domain.recommended_domain_count () in
+  let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  List.map
+    (fun jobs ->
+      let best = ref infinity and workers = ref 1 in
+      for _ = 1 to reps do
+        let r = Aspipe_runner.Campaign.run ~jobs ~oversubscribe ~quick () in
+        workers := r.Aspipe_runner.Campaign.workers;
+        if r.Aspipe_runner.Campaign.wall_seconds < !best then
+          best := r.Aspipe_runner.Campaign.wall_seconds
+      done;
+      { sjobs = jobs; sworkers = !workers; swall = !best })
+    jobs_list
+
+let sweep_wall jobs points =
+  Option.map (fun p -> p.swall) (List.find_opt (fun p -> p.sjobs = jobs) points)
+
+let sweep_json points =
+  let wall1 = Option.value (sweep_wall 1 points) ~default:Float.nan in
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("jobs", Json.Int p.sjobs);
+             ("workers", Json.Int p.sworkers);
+             ("wall_seconds", Json.Float p.swall);
+             ("speedup_vs_jobs1", Json.Float (wall1 /. p.swall));
+           ])
+       points)
+
+let print_sweep ~label ~reps points =
+  let wall1 = Option.value (sweep_wall 1 points) ~default:Float.nan in
+  Printf.printf "######## Jobs sweep (%s campaign, best of %d) ########\n" label reps;
+  List.iter
+    (fun p ->
+      Printf.printf "jobs %d (workers %d): %7.3f s  speedup %.2fx\n" p.sjobs p.sworkers
+        p.swall (wall1 /. p.swall))
+    points
+
+(* The inversion gate: jobs 4 slower than jobs 1 is the regression this
+   gate exists to kill. The broken configuration was ~5x slower; 10%
+   covers run-to-run noise, which is all that separates the two points on
+   a single-core host where the cap pins both to one worker. *)
+let sweep_gate_tolerance = 1.10
+
+let sweep_gate points =
+  match (sweep_wall 1 points, sweep_wall 4 points) with
+  | Some w1, Some w4 when w4 > w1 *. sweep_gate_tolerance ->
+      Printf.eprintf
+        "jobs-sweep: REGRESSION — jobs 4 wall %.3fs exceeds jobs 1 wall %.3fs (+%.0f%% tolerance)\n"
+        w4 w1
+        ((sweep_gate_tolerance -. 1.0) *. 100.0);
+      false
+  | Some w1, Some w4 ->
+      Printf.printf "jobs-sweep gate: jobs 4 %.3fs vs jobs 1 %.3fs — ok\n" w4 w1;
+      true
+  | _ -> true
+
+let campaign_json ~quick ~outcomes ~sweep ~sweep_over ~bytes_per_outcome =
+  Json.Obj
+    ([
+       ("quick", Json.Bool quick);
+       ("outcomes", Json.Int outcomes);
+       ("sweep", sweep_json sweep);
+       ("sweep_oversubscribed", sweep_json sweep_over);
+     ]
+    @
+    match bytes_per_outcome with
+    | Some b -> [ ("jobs1_bytes_per_outcome", Json.Float b) ]
+    | None -> [])
+
+let run_jobs_sweep ~quick ~oversubscribe ~out =
+  let reps = if quick then 3 else 1 in
+  let sweep = run_sweep ~quick ~oversubscribe:false ~reps in
+  let sweep_over =
+    if oversubscribe then run_sweep ~quick ~oversubscribe:true ~reps else []
+  in
+  print_sweep ~label:(if quick then "quick" else "full") ~reps sweep;
+  if sweep_over <> [] then
+    print_sweep ~label:"oversubscribed" ~reps sweep_over;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "aspipe-bench/1");
+        ("quick", Json.Bool quick);
+        ("ocaml", Json.String Sys.ocaml_version);
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ( "method",
+          Json.String "jobs sweep only: campaign wall seconds, best-of-N per point" );
+        ( "current",
+          Json.Obj
+            [
+              ( "campaign",
+                campaign_json ~quick ~outcomes:(List.length Aspipe_exp.Registry.all)
+                  ~sweep ~sweep_over ~bytes_per_outcome:None );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not (sweep_gate sweep) then exit 1
+
 let run_perf ~quick ~out ~baseline_file =
   (* Warm-ups mirror the measured shapes at reduced size. *)
   ignore (des_microbench ~timers:64 ~events:10_000);
@@ -274,14 +401,18 @@ let run_perf ~quick ~out ~baseline_file =
   let _, unobs_secs, unobs_bytes, _ =
     best_of 3 (fun (_, s, _, _) -> s) (fun () -> sim_microbench ~observed:false ~items:5000)
   in
-  (* Full-registry campaign wall time, sequential and multicore. Allocation
-     is sampled in the calling domain only (workers have their own GC), so
-     it is reported per outcome as an approximation. *)
+  (* Full-registry campaign wall time across a jobs sweep (capped and
+     oversubscribed). Allocation is sampled in the calling domain only
+     (workers have their own GC) around a dedicated jobs-1 run that doubles
+     as the sweep's warm-up, so it is reported per outcome as an
+     approximation. *)
   let a0 = Gc.allocated_bytes () in
   let report1 = Aspipe_runner.Campaign.run ~jobs:1 ~quick () in
   let a1 = Gc.allocated_bytes () in
-  let report4 = Aspipe_runner.Campaign.run ~jobs:4 ~quick () in
   let outcomes = List.length report1.Aspipe_runner.Campaign.outcomes in
+  let reps = if quick then 3 else 1 in
+  let sweep = run_sweep ~quick ~oversubscribe:false ~reps in
+  let sweep_over = run_sweep ~quick ~oversubscribe:true ~reps:(max 1 (reps - 1)) in
   let json =
     Json.Obj
       [
@@ -317,18 +448,11 @@ let run_perf ~quick ~out ~baseline_file =
                     ("bytes_per_item", Json.Float (unobs_bytes /. Float.of_int sim_items));
                   ] );
               ( "campaign",
-                Json.Obj
-                  [
-                    ("quick", Json.Bool quick);
-                    ("outcomes", Json.Int outcomes);
-                    ( "jobs1_wall_seconds",
-                      Json.Float report1.Aspipe_runner.Campaign.wall_seconds );
-                    ( "jobs4_wall_seconds",
-                      Json.Float report4.Aspipe_runner.Campaign.wall_seconds );
-                    ( "jobs1_bytes_per_outcome",
-                      Json.Float ((a1 -. a0) /. Float.of_int (max 1 outcomes)) );
-                  ] );
+                campaign_json ~quick ~outcomes ~sweep ~sweep_over
+                  ~bytes_per_outcome:
+                    (Some ((a1 -. a0) /. Float.of_int (max 1 outcomes))) );
             ] );
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ( "improvement",
           Json.Obj [ ("des_events_per_sec_ratio", Json.Float (des_ev_s /. 4_349_832.0)) ] );
       ]
@@ -347,12 +471,12 @@ let run_perf ~quick ~out ~baseline_file =
   Printf.printf "sim (unobserved): %9.0f items/s   %6.1f bytes/item\n"
     (Float.of_int sim_items /. unobs_secs)
     (unobs_bytes /. Float.of_int sim_items);
-  Printf.printf "campaign (%s):  jobs1 %.3fs  jobs4 %.3fs  (%d outcomes)\n"
-    (if quick then "quick" else "full")
-    report1.Aspipe_runner.Campaign.wall_seconds report4.Aspipe_runner.Campaign.wall_seconds
-    outcomes;
+  Printf.printf "campaign (%s): %d outcomes\n" (if quick then "quick" else "full") outcomes;
+  print_sweep ~label:(if quick then "quick" else "full") ~reps sweep;
+  print_sweep ~label:"oversubscribed" ~reps:(max 1 (reps - 1)) sweep_over;
   Printf.printf "vs pre-PR baseline: %.2fx des events/s\n" (des_ev_s /. 4_349_832.0);
   Printf.printf "wrote %s\n" out;
+  if not (sweep_gate sweep) then exit 1;
   match baseline_file with
   | None -> ()
   | Some file -> (
@@ -403,12 +527,18 @@ let () =
             exit 2)
   in
   let cache_dir = flag_value "--cache" in
+  let oversubscribe = List.mem "--oversubscribe" args in
   if List.mem "--perf" args then begin
-    let out = Option.value (flag_value "--perf-out") ~default:"BENCH_4.json" in
+    let out = Option.value (flag_value "--perf-out") ~default:"BENCH_5.json" in
     run_perf ~quick ~out ~baseline_file:(flag_value "--perf-baseline");
     exit 0
   end;
-  (match Aspipe_runner.Campaign.run ~jobs ?cache_dir ?only ~quick () with
+  if List.mem "--jobs-sweep" args then begin
+    let out = Option.value (flag_value "--perf-out") ~default:"BENCH_5.json" in
+    run_jobs_sweep ~quick ~oversubscribe ~out;
+    exit 0
+  end;
+  (match Aspipe_runner.Campaign.run ~jobs ~oversubscribe ?cache_dir ?only ~quick () with
   | report ->
       Aspipe_runner.Campaign.print_outputs report;
       Aspipe_runner.Campaign.print_summary report

@@ -83,17 +83,38 @@ let experiment_cmd =
 
 (* --------------------------------------------------------------- campaign *)
 
-let campaign quick jobs only cache_dir summary_only =
+let campaign quick jobs oversubscribe only cache_dir summary_only profile =
+  let module Prof = Aspipe_prof.Prof in
+  if profile <> None then Prof.enable ();
   match
     Aspipe_runner.Campaign.run
-      ?jobs ?cache_dir
+      ?jobs ~oversubscribe ?cache_dir
       ?only:(Option.map (String.split_on_char ',') only)
       ~quick ()
   with
-  | report ->
+  | report -> (
       if not summary_only then Aspipe_runner.Campaign.print_outputs report;
       Aspipe_runner.Campaign.print_summary report;
-      `Ok ()
+      match profile with
+      | None -> `Ok ()
+      | Some path -> (
+          Prof.disable ();
+          let p = Prof.collect () in
+          print_string (Aspipe_prof.Report.render p);
+          try
+            Aspipe_prof.Export.write p ~path;
+            let spans =
+              List.fold_left
+                (fun acc tl -> acc + List.length tl.Aspipe_prof.Prof.spans)
+                0 p.Aspipe_prof.Prof.timelines
+            in
+            Printf.printf
+              "wrote runner profile (%d spans, %d domains) to %s — open in ui.perfetto.dev\n"
+              spans
+              (List.length p.Aspipe_prof.Prof.timelines)
+              path;
+            `Ok ()
+          with Sys_error msg -> `Error (false, "cannot write profile: " ^ msg)))
   | exception Invalid_argument msg -> `Error (false, msg)
 
 let campaign_cmd =
@@ -101,8 +122,25 @@ let campaign_cmd =
     Arg.(value
         & opt (some int) None
         & info [ "jobs"; "j" ] ~docv:"N"
-            ~doc:"Worker domains (default: the recommended domain count). Output is \
-                  byte-identical whatever the value.")
+            ~doc:"Worker domains (default: the recommended domain count; capped at the core \
+                  count unless $(b,--oversubscribe)). Output is byte-identical whatever the \
+                  value.")
+  in
+  let oversubscribe =
+    Arg.(value
+        & flag
+        & info [ "oversubscribe" ]
+            ~doc:"Take $(b,--jobs) literally even beyond the recommended domain count \
+                  (more domains than cores multiply stop-the-world GC barriers; useful \
+                  only for measuring that effect).")
+  in
+  let profile =
+    Arg.(value
+        & opt ~vopt:(Some "aspipe-profile.json") (some string) None
+        & info [ "profile" ] ~docv:"FILE"
+            ~doc:"Record a wall-clock runner profile: per-domain timelines to FILE \
+                  (Perfetto JSON, default $(b,aspipe-profile.json)) plus a contention \
+                  report after the summary.")
   in
   let only =
     Arg.(value
@@ -122,7 +160,10 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the experiment registry in parallel on a domain pool (deterministic output)")
-    Term.(ret (const campaign $ quick_arg $ jobs $ only $ cache_dir $ summary_only))
+    Term.(
+      ret
+        (const campaign $ quick_arg $ jobs $ oversubscribe $ only $ cache_dir $ summary_only
+       $ profile))
 
 (* --------------------------------------------------------------- simulate *)
 

@@ -1,0 +1,17 @@
+(** Perfetto / Chrome trace-event export of a runner profile.
+
+    Follows the same conventions as {!Aspipe_obs.Trace_event} (which owns
+    pids 1 "grid" and 2 "network" for virtual-time traces): the runner is
+    process 3, with one thread track per domain timeline. Duration spans
+    render as complete ("X") slices, steals as instants, GC and queue
+    samples as counter tracks. *)
+
+val runner_pid : int
+(** 3 — next to Trace_event's grid (1) and network (2) processes. *)
+
+val to_json : Prof.profile -> Aspipe_obs.Json.t
+(** The [{"traceEvents": [...], ...}] document. *)
+
+val to_string : Prof.profile -> string
+
+val write : Prof.profile -> path:string -> unit

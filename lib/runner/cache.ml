@@ -5,7 +5,13 @@
    flag) together with the code version — the digest of the running
    executable, so any rebuild that changes behaviour changes every key and
    the cache can never serve stale tables. Entries are plain text files
-   named <md5hex>.out, human-inspectable and safely deletable. *)
+   named <md5hex>.out, human-inspectable and safely deletable.
+
+   With [Aspipe_prof] enabled, lookups and stores record spans (probe
+   duration covers the MD5 keying done by the caller's [key] + the file
+   read), so cache cost shows up on the owning domain's timeline. *)
+
+module Prof = Aspipe_prof.Prof
 
 type t = { dir : string; code_version : string }
 
@@ -32,23 +38,36 @@ let key t ~id ~title ~quick =
 let path t key = Filename.concat t.dir (key ^ ".out")
 
 let find t key =
+  let t0 = if Prof.enabled () then Prof.now () else 0.0 in
   let file = path t key in
-  if Sys.file_exists file then begin
-    try
-      let ic = open_in_bin file in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Some (really_input_string ic (in_channel_length ic)))
-    with Sys_error _ | End_of_file -> None
-  end
-  else None
+  let hit =
+    if Sys.file_exists file then begin
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      with Sys_error _ | End_of_file -> None
+    end
+    else None
+  in
+  if t0 > 0.0 && Prof.enabled () then
+    Prof.record Prof.Cache_probe ~label:key ~t0 ~t1:(Prof.now ())
+      ~a:(if hit = None then 0 else 1)
+      ~b:(match hit with Some s -> String.length s | None -> 0)
+      ~words:0.0;
+  hit
 
 let store t key output =
   (* Write-then-rename so a crashed run never leaves a truncated entry. *)
+  let t0 = if Prof.enabled () then Prof.now () else 0.0 in
   let file = path t key in
   let tmp = file ^ ".tmp" in
-  try
-    let oc = open_out_bin tmp in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc output);
-    Sys.rename tmp file
-  with Sys_error _ -> ()
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc output);
+     Sys.rename tmp file
+   with Sys_error _ -> ());
+  if t0 > 0.0 && Prof.enabled () then
+    Prof.record Prof.Cache_store ~label:key ~t0 ~t1:(Prof.now ())
+      ~a:(String.length output) ~b:0 ~words:0.0

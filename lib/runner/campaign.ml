@@ -21,6 +21,7 @@ module Registry = Aspipe_exp.Registry
 module Common = Aspipe_exp.Common
 module Out = Aspipe_util.Out
 module Metrics = Aspipe_obs.Metrics
+module Prof = Aspipe_prof.Prof
 
 type outcome = {
   id : string;
@@ -32,7 +33,8 @@ type outcome = {
 
 type report = {
   outcomes : outcome list;
-  jobs : int;
+  jobs : int;        (* requested *)
+  workers : int;     (* actually used after the oversubscription cap *)
   wall_seconds : float;
   serial_seconds : float;
   speedup : float;
@@ -81,40 +83,79 @@ let pool_par_map pool =
       (fun f xs ->
         (* Children run under their own capture; the parent re-emits their
            output in index order, so a printing replication body stays
-           deterministic too. *)
+           deterministic too. The re-emit loop is one of the contention
+           suspects, so the profiler times it. *)
         let wrapped =
-          Pool.map_list pool (fun x ->
+          Pool.map_list pool
+            ~name:(fun i -> Printf.sprintf "sub%d" i)
+            (fun x ->
               let buffer = Buffer.create 256 in
               let y = Out.with_buffer buffer (fun () -> f x) in
               (Buffer.contents buffer, y))
             xs
         in
+        let t0 = if Prof.enabled () then Prof.now () else 0.0 in
         List.iter (fun (out, _) -> Out.print_string out) wrapped;
+        if t0 > 0.0 && Prof.enabled () then
+          Prof.record Prof.Out_flush ~label:"re-emit" ~t0 ~t1:(Prof.now ())
+            ~a:(List.fold_left (fun acc (out, _) -> acc + String.length out) 0 wrapped)
+            ~b:(List.length wrapped) ~words:0.0;
         List.map snd wrapped);
   }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run ?jobs ?cache_dir ?only ~quick () =
+(* The inline (no-pool) path still records per-experiment task spans, so a
+   [--jobs 1] profile is comparable with a pooled one. *)
+let run_task_recorded ~label t =
+  let probe = if Prof.enabled () then Some (Prof.now (), Gc.quick_stat ()) else None in
+  let y = t () in
+  (match probe with
+  | Some (t0, g0) when Prof.enabled () ->
+      let g1 = Gc.quick_stat () in
+      Prof.record Prof.Task ~label ~t0 ~t1:(Prof.now ())
+        ~a:(g1.Gc.minor_collections - g0.Gc.minor_collections)
+        ~b:(g1.Gc.major_collections - g0.Gc.major_collections)
+        ~words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+  | _ -> ());
+  y
+
+let run ?jobs ?(oversubscribe = false) ?cache_dir ?only ~quick () =
   let experiments = select ?only () in
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  (* Adaptive worker count: domains beyond the core count only multiply
+     stop-the-world GC barriers and scheduler churn (the measured 5x
+     jobs-4 inversion on a single-core host), so the pool never
+     oversubscribes the machine unless explicitly asked to. *)
+  let workers = if oversubscribe then jobs else min jobs (Domain.recommended_domain_count ()) in
+  let workers = max 1 workers in
   let cache = Option.bind cache_dir (fun dir -> Cache.open_ ~dir) in
+  let ids = Array.of_list (List.map (fun e -> e.Registry.id) experiments) in
   let tasks = List.map (fun e -> task ~cache ~quick e) experiments in
+  if Prof.enabled () then begin
+    Prof.set_domain ~order:0 "main";
+    Prof.record_gc ~label:"campaign start"
+  end;
   let t0 = now () in
   let outcomes, pool_stats =
-    if jobs = 1 then (List.map (fun t -> t ()) tasks, None)
+    if workers = 1 then
+      ( List.mapi (fun i t -> run_task_recorded ~label:ids.(i) t) tasks,
+        None )
     else begin
-      let pool = Pool.create ~workers:jobs in
+      let pool = Pool.create ~workers () in
       Common.set_par_map (pool_par_map pool);
       Fun.protect
         ~finally:(fun () ->
           Common.reset_par_map ();
           Pool.shutdown pool)
         (fun () ->
-          let outcomes = Pool.map_list pool (fun t -> t ()) tasks in
+          let outcomes =
+            Pool.map_list pool ~name:(fun i -> ids.(i)) (fun t -> t ()) tasks
+          in
           (outcomes, Some (Pool.stats pool)))
     end
   in
+  if Prof.enabled () then Prof.record_gc ~label:"campaign end";
   let wall_seconds = now () -. t0 in
   let serial_seconds = List.fold_left (fun acc o -> acc +. o.elapsed) 0.0 outcomes in
   let cache_hits = List.length (List.filter (fun o -> o.cached) outcomes) in
@@ -134,6 +175,7 @@ let run ?jobs ?cache_dir ?only ~quick () =
      uses, so the campaign scheduler is observable like any component. *)
   let metrics = Metrics.create () in
   Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.jobs") (Float.of_int jobs);
+  Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.workers") (Float.of_int workers);
   Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.wall_seconds") wall_seconds;
   Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.serial_seconds") serial_seconds;
   Metrics.Gauge.set (Metrics.Gauge.get metrics "runner.speedup") speedup;
@@ -156,6 +198,7 @@ let run ?jobs ?cache_dir ?only ~quick () =
   {
     outcomes;
     jobs;
+    workers;
     wall_seconds;
     serial_seconds;
     speedup;
@@ -172,8 +215,8 @@ let summary report =
   Buffer.add_string buffer "######## Campaign runner summary ########\n";
   Buffer.add_string buffer
     (Printf.sprintf
-       "jobs %d | %d experiment(s), %d cached | wall %.2f s, serial %.2f s, speedup %.2fx\n"
-       report.jobs
+       "jobs %d | workers %d | %d experiment(s), %d cached | wall %.2f s, serial %.2f s, speedup %.2fx\n"
+       report.jobs report.workers
        (List.length report.outcomes)
        report.cache_hits report.wall_seconds report.serial_seconds report.speedup);
   Array.iteri

@@ -19,7 +19,8 @@ type outcome = {
 
 type report = {
   outcomes : outcome list;     (** in registry order *)
-  jobs : int;
+  jobs : int;                  (** requested parallelism *)
+  workers : int;               (** domains actually used after the cap *)
   wall_seconds : float;
   serial_seconds : float;      (** sum of per-experiment compute time *)
   speedup : float;             (** serial / wall *)
@@ -32,12 +33,23 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
 val run :
-  ?jobs:int -> ?cache_dir:string -> ?only:string list -> quick:bool -> unit -> report
+  ?jobs:int ->
+  ?oversubscribe:bool ->
+  ?cache_dir:string ->
+  ?only:string list ->
+  quick:bool ->
+  unit ->
+  report
 (** Run the selected experiments ([only] defaults to the whole registry;
     unknown ids raise [Invalid_argument]). [jobs] defaults to
-    {!default_jobs}; [jobs = 1] runs inline with no pool (the sequential
-    reference path). [cache_dir] enables the content-addressed result
-    cache. Nothing is printed — outputs ride in the report. *)
+    {!default_jobs} and is an upper bound: the pool uses
+    [min jobs (Domain.recommended_domain_count ())] workers — domains
+    beyond the core count only multiply stop-the-world GC barriers —
+    unless [oversubscribe] is set, which takes [jobs] literally. One
+    worker runs inline with no pool (the sequential reference path; same
+    bytes either way). [cache_dir] enables the content-addressed result
+    cache. Nothing is printed — outputs ride in the report. With
+    {!Aspipe_prof} enabled, the run records per-domain timelines. *)
 
 val print_outputs : report -> unit
 (** Emit every experiment's output, in registry order. *)

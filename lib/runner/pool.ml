@@ -6,22 +6,45 @@
    when it runs dry. One mutex serialises the scheduler state (deques,
    counters, shutdown flag) — campaign tasks are whole experiments or
    replication chunks, coarse enough that a scheduler lock costs nothing
-   measurable — and a single condition variable wakes sleepers on every
-   push and every completion.
+   measurable.
+
+   Wakeup discipline: sleepers wait for one of three predicates — claimable
+   work exists (workers, helpers), a batch drained (helpers, external
+   awaiters), or shutdown. Each predicate only becomes true at a push, at a
+   batch's last completion, or at shutdown, so those are the only three
+   broadcast sites. Broadcasting on *every* completion (the previous
+   scheme) made each task wake every sleeper only to find nothing
+   claimable — pure scheduler churn, and measurable once domains
+   outnumber cores.
+
+   Worker domains also size their own minor heaps at bootstrap: OCaml 5's
+   minor collector is stop-the-world across all domains, and [Gc.set] in
+   the spawning domain does not propagate, so each worker raises
+   [minor_heap_size] itself to stretch the interval between global minor
+   barriers (profiling showed those barriers dominating oversubscribed
+   runs).
 
    Waiting is *helping*: a worker that blocks on a nested [map] (an
    experiment splitting its replications from inside a pool task) executes
    other pending tasks while its batch drains, so nested fan-out can never
    deadlock the fixed-size pool. Results are always collected by input
    index, never by completion order — determinism never depends on the
-   scheduling interleaving. *)
+   scheduling interleaving.
+
+   When [Aspipe_prof] is enabled the pool records task spans (with per-task
+   GC deltas), steal hunts, idle/await sleeps and queue-depth samples on
+   the executing domain's timeline; every probe sits behind
+   [Prof.enabled ()] (lint R7), so a profiler-off run pays one atomic load
+   per probe site and allocates nothing. *)
+
+module Prof = Aspipe_prof.Prof
 
 type batch = {
   mutable remaining : int;          (* tasks of this map call not yet finished *)
   mutable failure : exn option;     (* first exception raised by a task *)
 }
 
-type task = { run : unit -> unit; batch : batch }
+type task = { run : unit -> unit; label : string; batch : batch }
 
 type t = {
   workers : int;
@@ -42,7 +65,8 @@ type t = {
    sleep. *)
 let worker_index : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let now () = Unix.gettimeofday ()
+(* Monotonic seconds — busy accounting measures durations, never dates. *)
+let now () = Prof.now ()
 
 (* Exclusive-time accounting. Helping means a worker's clock can tick
    inside another task's timer, so naive span timing double-counts: the
@@ -75,17 +99,36 @@ let timed f =
   | Error e, _ -> raise e
 
 (* Claim a task with the scheduler lock held: own deque first (newest
-   first), then steal the oldest task from the other deques. *)
+   first), then steal the oldest task from the other deques. Claims are
+   where queue depth and steal traffic are visible, so the profiler
+   samples here. *)
 let claim_locked t idx =
   let mine = idx mod t.workers in
+  if Prof.enabled () then begin
+    let ts = Prof.now () in
+    Prof.record Prof.Queue_sample ~label:"" ~t0:ts ~t1:ts
+      ~a:(Deque.length t.deques.(mine))
+      ~b:t.pending ~words:0.0
+  end;
   match Deque.pop t.deques.(mine) with
   | Some task ->
       t.pending <- t.pending - 1;
       t.executed.(mine) <- t.executed.(mine) + 1;
       Some task
   | None ->
+      let record_hunt ~hit probes =
+        if Prof.enabled () then begin
+          let ts = Prof.now () in
+          Prof.record Prof.Steal ~label:"" ~t0:ts ~t1:ts
+            ~a:(if hit then 1 else 0)
+            ~b:probes ~words:0.0
+        end
+      in
       let rec hunt k =
-        if k = t.workers then None
+        if k = t.workers then begin
+          record_hunt ~hit:false (t.workers - 1);
+          None
+        end
         else
           let victim = (mine + k) mod t.workers in
           match Deque.steal t.deques.(victim) with
@@ -93,26 +136,46 @@ let claim_locked t idx =
               t.pending <- t.pending - 1;
               t.executed.(mine) <- t.executed.(mine) + 1;
               t.stolen.(mine) <- t.stolen.(mine) + 1;
+              record_hunt ~hit:true k;
               Some task
           | None -> hunt (k + 1)
       in
       hunt 1
 
 (* Run one task and account its completion. Exceptions are recorded on the
-   batch (first one wins) and re-raised by the batch's [map] caller. *)
+   batch (first one wins) and re-raised by the batch's [map] caller. The
+   batch's last completion is the only one anyone can be waiting for, so
+   only it broadcasts. *)
 let execute t idx task =
+  let probe = if Prof.enabled () then Some (Prof.now (), Gc.quick_stat ()) else None in
   let outcome, exclusive =
     with_frame ~foreign:true (fun () -> try task.run (); None with e -> Some e)
   in
   let outcome = match outcome with Ok o -> o | Error _ -> assert false in
+  (match probe with
+  | Some (t0, g0) when Prof.enabled () ->
+      let g1 = Gc.quick_stat () in
+      Prof.record Prof.Task ~label:task.label ~t0 ~t1:(Prof.now ())
+        ~a:(g1.Gc.minor_collections - g0.Gc.minor_collections)
+        ~b:(g1.Gc.major_collections - g0.Gc.major_collections)
+        ~words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+  | _ -> ());
   Mutex.lock t.mutex;
   t.busy.(idx) <- t.busy.(idx) +. exclusive;
   (match outcome with
   | Some e when task.batch.failure = None -> task.batch.failure <- Some e
   | _ -> ());
   task.batch.remaining <- task.batch.remaining - 1;
-  Condition.broadcast t.wake;
+  if task.batch.remaining = 0 then Condition.broadcast t.wake;
   Mutex.unlock t.mutex
+
+(* One [Condition.wait], recorded as a sleep span of the given [kind] when
+   the profiler is on. Called with the scheduler lock held. *)
+let wait_recorded t kind =
+  let t0 = if Prof.enabled () then Prof.now () else 0.0 in
+  Condition.wait t.wake t.mutex;
+  if t0 > 0.0 && Prof.enabled () then
+    Prof.record kind ~label:"" ~t0 ~t1:(Prof.now ()) ~a:0 ~b:0 ~words:0.0
 
 let rec worker_loop t idx =
   Mutex.lock t.mutex;
@@ -122,7 +185,7 @@ let rec worker_loop t idx =
     | None ->
         if t.shutdown then None
         else begin
-          Condition.wait t.wake t.mutex;
+          wait_recorded t Prof.Worker_idle;
           next ()
         end
   in
@@ -134,7 +197,12 @@ let rec worker_loop t idx =
       execute t idx task;
       worker_loop t idx
 
-let create ~workers =
+(* Default one megaword (8 MB) per worker: large enough that global minor
+   collections stop dominating oversubscribed campaigns, small enough to
+   stay cache-friendly (BENCH_5.json records the sweep behind this). *)
+let default_minor_heap_words = 1 lsl 20
+
+let create ?(minor_heap_words = default_minor_heap_words) ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   let t =
     {
@@ -154,8 +222,17 @@ let create ~workers =
   t.domains <-
     List.init workers (fun idx ->
         Domain.spawn (fun () ->
+            (* Per-domain: Gc.set here, in the worker, is the only way to
+               size this domain's minor arena. *)
+            if minor_heap_words > 0 then
+              Gc.set { (Gc.get ()) with Gc.minor_heap_size = minor_heap_words };
             Domain.DLS.set worker_index (Some idx);
-            worker_loop t idx));
+            if Prof.enabled () then begin
+              Prof.set_domain ~order:(idx + 1) (Printf.sprintf "worker %d" idx);
+              Prof.record_gc ~label:"worker start"
+            end;
+            worker_loop t idx;
+            if Prof.enabled () then Prof.record_gc ~label:"worker exit"));
   t
 
 let shutdown t =
@@ -183,7 +260,7 @@ let await t batch =
               execute t idx task;
               help ()
           | None ->
-              Condition.wait t.wake t.mutex;
+              wait_recorded t Prof.Await_wait;
               Mutex.unlock t.mutex;
               help ()
         end
@@ -192,11 +269,11 @@ let await t batch =
   | None ->
       Mutex.lock t.mutex;
       while batch.remaining > 0 do
-        Condition.wait t.wake t.mutex
+        wait_recorded t Prof.Await_wait
       done;
       Mutex.unlock t.mutex
 
-let map t f inputs =
+let map ?(name = fun _ -> "task") t f inputs =
   let n = Array.length inputs in
   if n = 0 then [||]
   else begin
@@ -205,7 +282,8 @@ let map t f inputs =
     Mutex.lock t.mutex;
     Array.iteri
       (fun i x ->
-        let task = { run = (fun () -> results.(i) <- Some (f x)); batch } in
+        let label = if Prof.enabled () then name i else "" in
+        let task = { run = (fun () -> results.(i) <- Some (f x)); label; batch } in
         Deque.push t.deques.((t.rr + i) mod t.workers) task;
         t.pending <- t.pending + 1)
       inputs;
@@ -217,7 +295,7 @@ let map t f inputs =
     Array.map (function Some y -> y | None -> assert false) results
   end
 
-let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+let map_list ?name t f xs = Array.to_list (map ?name t f (Array.of_list xs))
 
 type stats = {
   workers : int;

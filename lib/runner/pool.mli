@@ -9,17 +9,28 @@
 
 type t
 
-val create : workers:int -> t
-(** Spawn [workers] domains. Raises [Invalid_argument] if [workers < 1]. *)
+val default_minor_heap_words : int
+(** 2{^20} words (8 MB) per worker — see {!create}. *)
+
+val create : ?minor_heap_words:int -> workers:int -> unit -> t
+(** Spawn [workers] domains. Raises [Invalid_argument] if [workers < 1].
+
+    Each worker sizes its own minor heap to [minor_heap_words] at bootstrap
+    (OCaml 5's [Gc.set] is per-domain and does not propagate through
+    [Domain.spawn]); minor collections are stop-the-world across all
+    domains, so a larger per-worker arena stretches the interval between
+    global barriers. Pass [0] to keep the runtime default. *)
 
 val size : t -> int
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?name:(int -> string) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Fan the batch out over the pool and wait for all of it. The first
     exception any task raised is re-raised after the batch drains. Safe to
-    call from inside a pool task (the calling worker helps). *)
+    call from inside a pool task (the calling worker helps). [name] labels
+    task [i]'s profiler span; it is consulted only when {!Aspipe_prof} is
+    recording. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?name:(int -> string) -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] is [f ()] and the seconds it took {e exclusive} of any pool

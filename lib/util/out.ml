@@ -27,11 +27,24 @@ let newline () = print_string "\n"
 
 let printf fmt = Printf.ksprintf print_string fmt
 
+(* An optional observer of capture-scope exits (the profiler counts flushed
+   bytes through it). One global slot, read with a single atomic load per
+   scope — never per byte — so capture cost is unchanged when empty. *)
+let capture_probe : (int -> unit) option Atomic.t = Atomic.make None
+let set_capture_probe p = Atomic.set capture_probe p
+
 let with_buffer buffer f =
   let cell = target () in
   let previous = !cell in
   cell := Some buffer;
-  Fun.protect ~finally:(fun () -> cell := previous) f
+  let before = Buffer.length buffer in
+  Fun.protect
+    ~finally:(fun () ->
+      cell := previous;
+      match Atomic.get capture_probe with
+      | Some probe -> probe (Buffer.length buffer - before)
+      | None -> ())
+    f
 
 let capture f =
   let buffer = Buffer.create 1024 in

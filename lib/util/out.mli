@@ -30,3 +30,9 @@ val capture : (unit -> unit) -> string
 
 val capturing : unit -> bool
 (** Whether this domain currently redirects into a buffer. *)
+
+val set_capture_probe : (int -> unit) option -> unit
+(** Install (or clear) an observer called as each {!with_buffer} scope
+    exits with the bytes that scope accumulated, on the exiting domain.
+    One global slot — owned by the profiler ({!Aspipe_prof.Prof.enable});
+    an empty slot costs one atomic load per scope. *)

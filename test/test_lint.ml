@@ -23,6 +23,12 @@ let test_r1_wall_clock () =
   rule_list "direct-execution engine allowlisted" []
     (rules_of (lint ~path:"lib/skel/skel_mc.ml" src));
   rule_list "exp_mc allowlisted" [] (rules_of (lint ~path:"lib/exp/exp_mc.ml" src));
+  let mono = "let now () = Monotonic_clock.now ()\n" in
+  rule_list "monotonic clock is still a real clock in DES code" [ "R1" ]
+    (rules_of (lint ~path:"lib/des/engine.ml" mono));
+  rule_list "core code cannot use it either" [ "R1" ]
+    (rules_of (lint ~path:"lib/core/x.ml" mono));
+  rule_list "the profiler may" [] (rules_of (lint ~path:"lib/prof/prof.ml" mono));
   let waived = "(* lint: wall-clock-ok measuring a real solve *)\nlet elapsed () = Unix.gettimeofday ()\n" in
   rule_list "waiver on the line above" [] (rules_of (lint waived))
 
@@ -147,6 +153,50 @@ let test_r6_banned () =
   rule_list "waiver" []
     (rules_of (lint "let f a b = a == b (* lint: banned-ok interned sentinel compare *)\n"))
 
+(* ------------------------------------------------------------------- R7 *)
+
+let test_r7_guarded_prof_record () =
+  rule_list "unguarded record flagged" [ "R7" ]
+    (rules_of (lint "let f t0 t1 = Prof.record Task ~label:\"x\" ~t0 ~t1 ~a:0 ~b:0 ~words:0.\n"));
+  rule_list "record_gc flagged too" [ "R7" ]
+    (rules_of (lint "let f () = Prof.record_gc ~label:\"start\"\n"));
+  rule_list "qualified record flagged" [ "R7" ]
+    (rules_of (lint "let f () = Aspipe_prof.Prof.record_gc ~label:\"start\"\n"));
+  rule_list "if Prof.enabled guard passes" []
+    (rules_of
+       (lint
+          "let f t0 t1 =\n\
+          \  if Prof.enabled () then Prof.record Task ~label:\"x\" ~t0 ~t1 ~a:0 ~b:0 ~words:0.\n"));
+  rule_list "compound condition mentioning Prof.enabled passes" []
+    (rules_of
+       (lint
+          "let f t0 t1 =\n\
+          \  if t0 > 0.0 && Prof.enabled () then Prof.record Task ~label:\"x\" ~t0 ~t1 ~a:0 ~b:0 ~words:0.\n"));
+  rule_list "when Prof.enabled match guard passes" []
+    (rules_of
+       (lint
+          "let f probe =\n\
+          \  match probe with\n\
+          \  | Some t0 when Prof.enabled () -> Prof.record_gc ~label:\"end\"\n\
+          \  | _ -> ()\n"));
+  rule_list "record in the else branch stays flagged" [ "R7" ]
+    (rules_of
+       (lint
+          "let f () = if Prof.enabled () then () else Prof.record_gc ~label:\"x\"\n"));
+  rule_list "a Bus.active guard does not excuse a prof record" [ "R7" ]
+    (rules_of
+       (lint "let f bus = if Bus.active bus then Prof.record_gc ~label:\"x\"\n"));
+  rule_list "lib/prof/ itself is exempt" []
+    (rules_of (lint ~path:"lib/prof/prof.ml" "let f () = Prof.record_gc ~label:\"x\"\n"));
+  rule_list "outside lib/ not in scope" []
+    (rules_of (lint ~path:"bin/aspipe_cli.ml" "let f () = Prof.record_gc ~label:\"x\"\n"));
+  rule_list "waiver" []
+    (rules_of
+       (lint
+          "let f () =\n\
+          \  (* lint: unguarded-prof-ok exercising the recorder itself *)\n\
+          \  Prof.record_gc ~label:\"x\"\n"))
+
 (* ------------------------------------------- parsing, severities, driver *)
 
 let test_syntax_error_is_a_finding () =
@@ -175,7 +225,9 @@ let test_severity_overrides () =
   rule_list "rule selection drops others" [] (rules_of only_r1)
 
 let test_rule_catalogue_consistent () =
-  Alcotest.(check (list string)) "ids are R1..R6" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ] Rules.ids;
+  Alcotest.(check (list string)) "ids are R1..R7"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+    Rules.ids;
   let slugs = List.map (fun r -> r.Rules.slug) Rules.all in
   Alcotest.(check (list string)) "slugs are distinct" (List.sort_uniq compare slugs)
     (List.sort compare slugs)
@@ -225,6 +277,7 @@ let () =
           Alcotest.test_case "R4 guarded-hot-emit" `Quick test_r4_guarded_emit;
           Alcotest.test_case "R5 domain-safety" `Quick test_r5_shared_state;
           Alcotest.test_case "R6 banned-construct" `Quick test_r6_banned;
+          Alcotest.test_case "R7 guarded-prof-record" `Quick test_r7_guarded_prof_record;
         ] );
       ( "driver",
         [

@@ -94,9 +94,10 @@ let golden_campaign = [ ("E1", "28a482341504a86deef536622a83277c");
                         ("E3", "705233c8dcefc56efb2182bf2f3446ae");
                         ("E18", "d99e1d91c6ba0cf1d9f55a5ee1201040") ]
 
-let campaign_digests ~jobs =
+let campaign_digests ?(oversubscribe = false) ~jobs () =
   let report =
-    Aspipe_runner.Campaign.run ~jobs ~only:(List.map fst golden_campaign) ~quick:true ()
+    Aspipe_runner.Campaign.run ~jobs ~oversubscribe ~only:(List.map fst golden_campaign)
+      ~quick:true ()
   in
   List.map
     (fun o ->
@@ -112,8 +113,11 @@ let check_campaign_digests digests =
       | Some got -> Alcotest.(check string) (id ^ " output digest") expected got)
     golden_campaign
 
-let test_golden_campaign_jobs1 () = check_campaign_digests (campaign_digests ~jobs:1)
-let test_golden_campaign_jobs4 () = check_campaign_digests (campaign_digests ~jobs:4)
+let test_golden_campaign_jobs1 () = check_campaign_digests (campaign_digests ~jobs:1 ())
+
+let test_golden_campaign_jobs4 () =
+  (* ~oversubscribe keeps this a real 4-worker pool on any host. *)
+  check_campaign_digests (campaign_digests ~oversubscribe:true ~jobs:4 ())
 
 (* Golden determinism: the full JSONL event stream of an adaptive run —
    every event, field and float rendering — is byte-identical to the

@@ -91,7 +91,7 @@ let test_deque_growth () =
 (* ------------------------------------------------------------------ Pool *)
 
 let with_pool ~workers f =
-  let pool = Pool.create ~workers in
+  let pool = Pool.create ~workers () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 let test_pool_matches_map =
@@ -156,7 +156,7 @@ let test_pool_stats () =
 
 let test_pool_invalid_workers () =
   Alcotest.check_raises "workers 0" (Invalid_argument "Pool.create: workers must be >= 1")
-    (fun () -> ignore (Pool.create ~workers:0))
+    (fun () -> ignore (Pool.create ~workers:0 ()))
 
 (* ----------------------------------------------------------------- Cache *)
 
@@ -197,8 +197,10 @@ let test_campaign_golden_determinism () =
   (* The tentpole guarantee: a parallel campaign is byte-identical to the
      sequential one, experiment by experiment. E1/E18/E20 cover a model
      table, a fault-tolerance table and a campaign-style figure. *)
+  (* ~oversubscribe forces real pool workers even on a single-core host,
+     where the adaptive cap would otherwise collapse jobs 4 to inline. *)
   let seq = Campaign.run ~jobs:1 ~only:golden_ids ~quick:true () in
-  let par = Campaign.run ~jobs:4 ~only:golden_ids ~quick:true () in
+  let par = Campaign.run ~jobs:4 ~oversubscribe:true ~only:golden_ids ~quick:true () in
   Alcotest.(check (list string)) "registry order, sequentially" golden_ids
     (List.map (fun o -> o.Campaign.id) seq.Campaign.outcomes);
   Alcotest.(check (list string)) "registry order, in parallel" golden_ids
@@ -216,14 +218,24 @@ let test_campaign_unknown_id () =
     (fun () -> ignore (Campaign.run ~jobs:1 ~only:[ "E99" ] ~quick:true ()))
 
 let test_campaign_report_sanity () =
-  let report = Campaign.run ~jobs:2 ~only:[ "E1" ] ~quick:true () in
+  let report = Campaign.run ~jobs:2 ~oversubscribe:true ~only:[ "E1" ] ~quick:true () in
   Alcotest.(check int) "jobs recorded" 2 report.Campaign.jobs;
+  Alcotest.(check int) "workers recorded" 2 report.Campaign.workers;
   Alcotest.(check int) "utilisation per domain" 2 (Array.length report.Campaign.utilisation);
   Alcotest.(check bool) "wall time positive" true (report.Campaign.wall_seconds > 0.0);
   Alcotest.(check bool) "speedup positive" true (report.Campaign.speedup > 0.0);
   Array.iter
     (fun u -> Alcotest.(check bool) "utilisation in [0,1]" true (u >= 0.0 && u <= 1.0))
     report.Campaign.utilisation
+
+let test_campaign_capped_workers () =
+  (* Without ~oversubscribe a 1-core host runs jobs 4 inline: the request
+     is recorded but the pool is never oversubscribed. *)
+  let report = Campaign.run ~jobs:4 ~only:[ "E1" ] ~quick:true () in
+  Alcotest.(check int) "jobs recorded as requested" 4 report.Campaign.jobs;
+  Alcotest.(check bool) "workers capped to the host" true
+    (report.Campaign.workers <= max 4 (Domain.recommended_domain_count ()));
+  Alcotest.(check bool) "at least one worker" true (report.Campaign.workers >= 1)
 
 let test_campaign_cache_hits () =
   let dir = temp_dir "aspipe-campaign-cache" in
@@ -306,6 +318,7 @@ let () =
           Alcotest.test_case "golden determinism E1/E18/E20" `Slow test_campaign_golden_determinism;
           Alcotest.test_case "unknown id" `Quick test_campaign_unknown_id;
           Alcotest.test_case "report sanity" `Quick test_campaign_report_sanity;
+          Alcotest.test_case "capped workers" `Quick test_campaign_capped_workers;
           Alcotest.test_case "cache hits" `Slow test_campaign_cache_hits;
         ] );
       ( "trace-determinism",

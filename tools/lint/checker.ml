@@ -1,4 +1,4 @@
-(* The per-file AST walk implementing R1..R6.
+(* The per-file AST walk implementing R1..R7.
 
    Files are parsed with compiler-libs ([Parse.implementation] /
    [Parse.interface]) and walked with [Ast_iterator]. The analysis is
@@ -11,10 +11,12 @@
      the witness that entries are ordered before anything renders them;
    - R4 recognises guards syntactically: the then-branch of an
      [if ... Bus.active ...] conditional or the body of a [when ...
-     Bus.active ...] match case.
+     Bus.active ...] match case. R7 applies the same recognition to
+     [Prof.enabled] guards around profiler record calls.
 
-   The walk keeps three depth counters:
+   The walk keeps four depth counters:
    - [guard_depth] > 0 inside a Bus.active-guarded region (R4);
+   - [prof_guard_depth] > 0 inside a Prof.enabled-guarded region (R7);
    - [sort_depth]  > 0 inside a structure-level binding whose subtree
      applies a sort (R2);
    - [expr_depth]  > 0 inside any expression, so R5 fires only on
@@ -28,6 +30,7 @@ type ctx = {
   waivers : Waivers.t;
   mutable findings : Finding.t list;
   mutable guard_depth : int;
+  mutable prof_guard_depth : int;
   mutable sort_depth : int;
   mutable expr_depth : int;
 }
@@ -46,6 +49,10 @@ let ends_with ~suffix parts =
 
 let is_bus_active lid = ends_with ~suffix:[ "Bus"; "active" ] (flatten lid)
 let is_bus_emit lid = ends_with ~suffix:[ "Bus"; "emit" ] (flatten lid)
+let is_prof_enabled lid = ends_with ~suffix:Config.prof_enabled_suffix (flatten lid)
+
+let is_prof_record parts =
+  List.exists (fun suffix -> ends_with ~suffix parts) Config.prof_record_suffixes
 
 let is_sort lid =
   let parts = flatten lid in
@@ -117,6 +124,12 @@ let check_ident ctx (loc : Location.t) lid =
          name);
   if List.mem name Config.banned_idents then
     report ctx "R6" loc (Printf.sprintf "%s is banned in this tree" name);
+  if Config.prof_record_scope ctx.path && is_prof_record parts && ctx.prof_guard_depth = 0 then
+    report ctx "R7" loc
+      (Printf.sprintf
+         "%s outside an `if Prof.enabled () ...` guard builds span arguments on \
+          profiler-off runs; guard it, or waive with `(* lint: unguarded-prof-ok ... *)`"
+         name);
   match parts with
   | [ op ] when List.mem op Config.banned_operators ->
       report ctx "R6" loc
@@ -160,11 +173,16 @@ let expr_handler ctx (self : Ast_iterator.iterator) e =
   | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc txt
   | _ -> ());
   (match e.pexp_desc with
-  | Pexp_ifthenelse (cond, then_, else_) when expr_mentions is_bus_active cond ->
+  | Pexp_ifthenelse (cond, then_, else_)
+    when expr_mentions is_bus_active cond || expr_mentions is_prof_enabled cond ->
+      let bus = expr_mentions is_bus_active cond in
+      let prof = expr_mentions is_prof_enabled cond in
       self.expr self cond;
-      ctx.guard_depth <- ctx.guard_depth + 1;
+      if bus then ctx.guard_depth <- ctx.guard_depth + 1;
+      if prof then ctx.prof_guard_depth <- ctx.prof_guard_depth + 1;
       self.expr self then_;
-      ctx.guard_depth <- ctx.guard_depth - 1;
+      if bus then ctx.guard_depth <- ctx.guard_depth - 1;
+      if prof then ctx.prof_guard_depth <- ctx.prof_guard_depth - 1;
       Option.iter (self.expr self) else_
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) when is_bus_emit txt ->
       check_emit ctx e args;
@@ -174,12 +192,17 @@ let expr_handler ctx (self : Ast_iterator.iterator) e =
 
 let case_handler ctx (self : Ast_iterator.iterator) (c : case) =
   match c.pc_guard with
-  | Some guard when expr_mentions is_bus_active guard ->
+  | Some guard
+    when expr_mentions is_bus_active guard || expr_mentions is_prof_enabled guard ->
+      let bus = expr_mentions is_bus_active guard in
+      let prof = expr_mentions is_prof_enabled guard in
       self.pat self c.pc_lhs;
       self.expr self guard;
-      ctx.guard_depth <- ctx.guard_depth + 1;
+      if bus then ctx.guard_depth <- ctx.guard_depth + 1;
+      if prof then ctx.prof_guard_depth <- ctx.prof_guard_depth + 1;
       self.expr self c.pc_rhs;
-      ctx.guard_depth <- ctx.guard_depth - 1
+      if bus then ctx.guard_depth <- ctx.guard_depth - 1;
+      if prof then ctx.prof_guard_depth <- ctx.prof_guard_depth - 1
   | _ -> Ast_iterator.default_iterator.case self c
 
 (* The head application of a binding's right-hand side, through type
@@ -221,6 +244,7 @@ let check ~path source =
       waivers = Waivers.scan source;
       findings = [];
       guard_depth = 0;
+      prof_guard_depth = 0;
       sort_depth = 0;
       expr_depth = 0;
     }

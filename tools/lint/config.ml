@@ -10,13 +10,18 @@ let starts_with ~prefix s =
 
 (* ---------------------------------------------------- R1 no-wall-clock *)
 
-let wall_clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+(* Monotonic_clock.now is bechamel's monotonic source — still a real
+   clock, so virtual-time code may not touch it either. *)
+let wall_clock_idents =
+  [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Monotonic_clock.now" ]
 
-(* The campaign runner times real work on real domains, and the _mc
+(* The campaign runner times real work on real domains, the profiler
+   (lib/prof/) exists to record real durations, and the _mc
    direct-execution engines exist to measure real speedup; everything else
    takes time from the DES engine's virtual clock. *)
 let wall_clock_allowed path =
   starts_with ~prefix:"lib/runner/" path
+  || starts_with ~prefix:"lib/prof/" path
   || path = "lib/skel/skel_mc.ml"
   || path = "lib/exp/exp_mc.ml"
 
@@ -76,3 +81,16 @@ let shared_state_heads =
 
 let banned_idents = [ "Obj.magic"; "Obj.repr"; "Random.self_init" ]
 let banned_operators = [ "=="; "!=" ]
+
+(* ------------------------------------------------ R7 guarded-prof-record *)
+
+(* Profiler probes must be free when profiling is off: a record call site
+   sits under an `if Prof.enabled () ...` (or `when ...`) guard so its
+   arguments (labels, Gc.quick_stat reads) are never built on unprofiled
+   runs — the wall-clock twin of R4's Bus.active discipline. lib/prof/
+   itself is exempt: the recorder re-checks the flag internally. *)
+let prof_record_suffixes = [ [ "Prof"; "record" ]; [ "Prof"; "record_gc" ] ]
+let prof_enabled_suffix = [ "Prof"; "enabled" ]
+
+let prof_record_scope path =
+  starts_with ~prefix:"lib/" path && not (starts_with ~prefix:"lib/prof/" path)

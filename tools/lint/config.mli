@@ -19,3 +19,14 @@ val shared_state_heads : string list
 
 val banned_idents : string list
 val banned_operators : string list
+
+val prof_record_suffixes : string list list
+(** Dotted-path suffixes of profiler record calls ([Prof.record],
+    [Prof.record_gc]) that R7 requires under a [Prof.enabled] guard. *)
+
+val prof_enabled_suffix : string list
+(** Dotted-path suffix of the profiler's flag read ([Prof.enabled]). *)
+
+val prof_record_scope : string -> bool
+(** Where R7 applies: [lib/] minus [lib/prof/] (the recorder itself
+    re-checks the flag). *)

@@ -70,6 +70,16 @@ let all =
         "Obj.magic/Obj.repr, Random.self_init and physical (in)equality \
          (==/!=) are banned: each one breaks reproducibility or type safety";
     };
+    {
+      id = "R7";
+      name = "guarded-prof-record";
+      slug = "unguarded-prof-ok";
+      summary =
+        "profiler probes (Prof.record/Prof.record_gc) in lib/ must sit \
+         under an `if Prof.enabled () ...` (or `when Prof.enabled () ...`) \
+         guard so profiler-off runs never build span arguments; lib/prof/ \
+         itself re-checks the flag and is exempt";
+    };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
