@@ -5,6 +5,8 @@
      experiment <id>         regenerate one (or `all`)
      campaign                run the registry through the multicore runner
      simulate                run an ad-hoc adaptive-vs-static comparison
+                             (--arrivals switches it to an open serving stream)
+     serve                   open-arrival serving demo: autoscalers vs a latency SLO
      trace-export            run a scenario and export Perfetto/JSONL telemetry
      metrics                 run a scenario and print the metrics snapshot
      faults                  crash nodes mid-run: static DNF vs adaptive failover
@@ -24,6 +26,10 @@ module Adaptive = Aspipe_core.Adaptive
 module Baselines = Aspipe_core.Baselines
 module Calibration = Aspipe_core.Calibration
 module Registry = Aspipe_exp.Registry
+module Arrival = Aspipe_serve.Arrival
+module Slo = Aspipe_serve.Slo
+module Autoscaler = Aspipe_serve.Autoscaler
+module Serve = Aspipe_serve.Serve
 module Json = Aspipe_obs.Json
 module Trace_event = Aspipe_obs.Trace_event
 module Jsonl = Aspipe_obs.Jsonl
@@ -171,7 +177,7 @@ let campaign_cmd =
    grid, an optionally hot middle stage, and a load step on node 0. With
    [quick], sizes shrink to values under which the default threshold policy
    still commits at least one adaptation. *)
-let cli_scenario ?(faults = []) ~quick ~nodes ~stages ~items ~hot ~step_at () =
+let cli_scenario ?(faults = []) ?(horizon = 1e5) ~quick ~nodes ~stages ~items ~hot ~step_at () =
   let items = if quick then min items 150 else items in
   let step_at = if quick && step_at > 0.0 then Float.min step_at 30.0 else step_at in
   let stage_array =
@@ -186,7 +192,7 @@ let cli_scenario ?(faults = []) ~quick ~nodes ~stages ~items ~hot ~step_at () =
       Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
     ~loads ~faults ~stages:stage_array
     ~input:(Stream_spec.make ~arrival:(Stream_spec.Spaced 0.3) ~items ())
-    ~horizon:1e5 ()
+    ~horizon ()
 
 let scenario_args =
   let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Grid size.") in
@@ -197,8 +203,8 @@ let scenario_args =
   Term.(const (fun nodes stages items hot step_at -> (nodes, stages, items, hot, step_at))
         $ nodes $ stages $ items $ hot $ step)
 
-let simulate verbose quick seed (nodes, stages, items, hot, step_at) fault_spec summary csv_dir
-    trace_out =
+let simulate verbose quick seed (nodes, stages, items, hot, step_at) fault_spec arrivals summary
+    csv_dir trace_out =
   setup_logs verbose;
   let faults =
     match fault_spec with
@@ -209,39 +215,69 @@ let simulate verbose quick seed (nodes, stages, items, hot, step_at) fault_spec 
           Printf.eprintf "aspipe: %s\n" msg;
           exit 1)
   in
-  let scenario = cli_scenario ~faults ~quick ~nodes ~stages ~items ~hot ~step_at () in
   let collector = Trace_event.create () in
   let instrument =
     match trace_out with
     | None -> None
     | Some _ -> Some (fun bus -> Trace_event.attach collector bus)
   in
-  (* Under a fault schedule the static mapping may never finish, so probe
-     the fault-free world for its mapping and report a DNF honestly. *)
-  (if faults = [] then
-     let static = Baselines.static_model_best ~scenario ~seed () in
-     Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
-       (Aspipe_model.Mapping.to_string static.Baselines.mapping)
-       static.Baselines.makespan
-   else
-     let base = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at () in
-     let nominal = Baselines.static_model_best ~scenario:base ~seed () in
-     let static =
-       Baselines.static_faulty ~label:"static-model-best"
-         ~mapping:(Aspipe_model.Mapping.to_array nominal.Baselines.mapping)
-         ~scenario ~seed ()
-     in
-     Printf.printf "static-model-best : mapping %s, %s (%d/%d items, %d lost)\n"
-       (Aspipe_model.Mapping.to_string static.Baselines.f_mapping)
-       (match static.Baselines.finish with
-       | Some f -> Printf.sprintf "makespan %.1f s" f
-       | None -> "DNF")
-       static.Baselines.completed static.Baselines.total static.Baselines.items_lost);
-  let adaptive = Adaptive.run ?instrument ~scenario ~seed () in
-  Format.printf "adaptive          : %a@." Adaptive.pp_report adaptive;
+  let trace =
+    match arrivals with
+    | Some spec ->
+        (* Open serving mode: the same ad-hoc grid (load step and --faults
+           included), but the input is an open arrival process instead of a
+           finite batch. Makespan is meaningless here, so both rows report
+           serving terms — sojourn quantiles, SLO attainment, node-seconds —
+           with the divergence trigger standing in for "adaptive". *)
+        let arrival =
+          try Arrival.parse_spec spec
+          with Invalid_argument msg ->
+            Printf.eprintf "aspipe: %s\n" msg;
+            exit 1
+        in
+        let horizon = if quick then 120.0 else 300.0 in
+        let scenario =
+          cli_scenario ~faults ~horizon ~quick ~nodes ~stages ~items ~hot ~step_at ()
+        in
+        let slo = Slo.spec ~target_quantile:0.95 ~threshold:6.0 ~window:30.0 in
+        let run ?instrument autoscaler =
+          Serve.run ?instrument ~initial:`Best ~autoscaler ~arrival ~slo ~scenario ~seed ()
+        in
+        let static = run (Autoscaler.static ()) in
+        let adaptive = run ?instrument (Autoscaler.remap_on_divergence ()) in
+        Format.printf "static-best-mapping : %a@." Serve.pp_report static;
+        Format.printf "adaptive            : %a@." Serve.pp_report adaptive;
+        adaptive.Serve.trace
+    | None ->
+        let scenario = cli_scenario ~faults ~quick ~nodes ~stages ~items ~hot ~step_at () in
+        (* Under a fault schedule the static mapping may never finish, so
+           probe the fault-free world for its mapping and report a DNF
+           honestly. *)
+        (if faults = [] then
+           let static = Baselines.static_model_best ~scenario ~seed () in
+           Printf.printf "static-model-best : mapping %s, makespan %.1f s\n"
+             (Aspipe_model.Mapping.to_string static.Baselines.mapping)
+             static.Baselines.makespan
+         else
+           let base = cli_scenario ~quick ~nodes ~stages ~items ~hot ~step_at () in
+           let nominal = Baselines.static_model_best ~scenario:base ~seed () in
+           let static =
+             Baselines.static_faulty ~label:"static-model-best"
+               ~mapping:(Aspipe_model.Mapping.to_array nominal.Baselines.mapping)
+               ~scenario ~seed ()
+           in
+           Printf.printf "static-model-best : mapping %s, %s (%d/%d items, %d lost)\n"
+             (Aspipe_model.Mapping.to_string static.Baselines.f_mapping)
+             (match static.Baselines.finish with
+             | Some f -> Printf.sprintf "makespan %.1f s" f
+             | None -> "DNF")
+             static.Baselines.completed static.Baselines.total static.Baselines.items_lost);
+        let adaptive = Adaptive.run ?instrument ~scenario ~seed () in
+        Format.printf "adaptive          : %a@." Adaptive.pp_report adaptive;
+        adaptive.Adaptive.trace
+  in
   if summary then
-    Aspipe_util.Render.Table.print
-      (Aspipe_grid.Trace_stats.summary_table adaptive.Adaptive.trace ~stages);
+    Aspipe_util.Render.Table.print (Aspipe_grid.Trace_stats.summary_table trace ~stages);
   (match trace_out with
   | None -> ()
   | Some path -> (
@@ -259,10 +295,10 @@ let simulate verbose quick seed (nodes, stages, items, hot, step_at) fault_spec 
   | Some dir ->
       Aspipe_util.Csvio.write_rows
         ~path:(Filename.concat dir "gantt.csv")
-        (Aspipe_grid.Trace_stats.gantt_rows adaptive.Adaptive.trace);
+        (Aspipe_grid.Trace_stats.gantt_rows trace);
       let path =
         Aspipe_util.Csvio.save_table ~dir ~basename:"stage_summary"
-          (Aspipe_grid.Trace_stats.summary_table adaptive.Adaptive.trace ~stages)
+          (Aspipe_grid.Trace_stats.summary_table trace ~stages)
       in
       Printf.printf "wrote %s and %s\n" (Filename.concat dir "gantt.csv") path
 
@@ -276,13 +312,151 @@ let faults_arg =
              $(b,mtbf=M,mttr=R) or $(b,windows=T1+D1,T2+D2,...) — e.g. \
              $(b,0:crash\\@120;1:mtbf=500,mttr=50).")
 
+let arrivals_arg =
+  Arg.(value
+      & opt (some string) None
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Serve an open arrival process instead of the closed batch: \
+             $(b,poisson:RATE), $(b,diurnal:BASE,AMP,PERIOD), \
+             $(b,flash:BASE,PEAK,AT,RAMP,DECAY), $(b,mmpp:RATE/HOLD,...) or \
+             $(b,replay:T1,T2,...). Reports sojourn quantiles, SLO attainment and \
+             node-seconds in place of makespan.")
+
 let simulate_cmd =
   let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Print the per-stage trace summary.") in
   let csv = Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Write gantt.csv and stage_summary.csv to DIR.") in
   let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the adaptive run as Chrome trace-event/Perfetto JSON to FILE.") in
   Cmd.v (Cmd.info "simulate" ~doc:"Ad-hoc adaptive vs static run on a uniform grid")
     Term.(const simulate $ verbose_arg $ quick_arg $ seed_arg $ scenario_args $ faults_arg
-          $ summary $ csv $ trace)
+          $ arrivals_arg $ summary $ csv $ trace)
+
+(* ------------------------------------------------------------------ serve *)
+
+(* The serving estate mirrors E21–E24: unit-work stages on a uniform grid,
+   so capacity comes in clean per-node steps and the autoscalers' choices
+   are easy to read off the node-seconds column. *)
+let serve_cmd_run verbose quick seed nodes stages horizon arrivals_spec which provision
+    threshold quantile window fault_spec show_windows =
+  setup_logs verbose;
+  let fail msg =
+    Printf.eprintf "aspipe: %s\n" msg;
+    exit 1
+  in
+  let faults =
+    match fault_spec with
+    | None -> []
+    | Some spec -> ( try Fault.parse_spec spec with Invalid_argument msg -> fail msg)
+  in
+  let arrival = try Arrival.parse_spec arrivals_spec with Invalid_argument msg -> fail msg in
+  let slo =
+    try Slo.spec ~target_quantile:quantile ~threshold ~window
+    with Invalid_argument msg -> fail msg
+  in
+  let horizon = if quick then horizon /. 2.0 else horizon in
+  let scenario =
+    Scenario.make ~name:"cli-serve"
+      ~make_topo:(fun engine ->
+        Aspipe_grid.Topology.uniform engine ~n:nodes ~speed:10.0 ~latency:0.01 ~bandwidth:1e7 ())
+      ~faults
+      ~stages:
+        (Array.init stages (fun i ->
+             Stage.make ~name:(Printf.sprintf "srv%d" i) ~output_bytes:1e4 ~state_bytes:1e5
+               ~work:(Aspipe_util.Variate.Constant 1.0) ()))
+      ~input:(Stream_spec.make ~item_bytes:1e4 ~items:1 ())
+      ~horizon ()
+  in
+  let run (initial, autoscaler) =
+    Serve.run ~initial ~autoscaler ~arrival ~slo ~provision_rate:provision ~scenario ~seed ()
+  in
+  let row = function
+    | `Static -> (`Best, Autoscaler.static ())
+    | `Divergence -> (`Cheapest, Autoscaler.remap_on_divergence ())
+    | `Queue -> (`Cheapest, Autoscaler.queue_length ())
+    | `Latency -> (`Cheapest, Autoscaler.latency_gradient ())
+  in
+  let fmt_s x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x in
+  let fmt_pct x = if Float.is_nan x then "-" else Printf.sprintf "%.0f%%" (100.0 *. x) in
+  match which with
+  | `All ->
+      let table =
+        Aspipe_util.Render.Table.create
+          ~title:
+            (Format.asprintf "autoscalers serving %a over %.0f s (%a)" Arrival.pp arrival
+               horizon Slo.pp_spec slo)
+          ~columns:
+            [ "autoscaler"; "arrivals"; "done"; "p50 (s)"; "p99 (s)"; "SLO att."; "node-s"; "remaps" ]
+      in
+      List.iter
+        (fun auto ->
+          let r = run (row auto) in
+          Aspipe_util.Render.Table.add_row table
+            [
+              r.Serve.autoscaler_name;
+              string_of_int r.Serve.arrivals;
+              string_of_int r.Serve.completions;
+              fmt_s r.Serve.p50;
+              fmt_s r.Serve.p99;
+              fmt_pct r.Serve.attainment;
+              Printf.sprintf "%.0f" r.Serve.node_seconds;
+              string_of_int r.Serve.adaptation_count;
+            ])
+        [ `Static; `Divergence; `Queue; `Latency ];
+      Aspipe_util.Render.Table.print table
+  | (`Static | `Divergence | `Queue | `Latency) as auto ->
+      let r = run (row auto) in
+      Format.printf "%a@." Serve.pp_report r;
+      if show_windows then
+        List.iter
+          (fun (w : Slo.window_stats) ->
+            Printf.printf "window %3d ending %7.1f s: %4d done, %3d over SLO  %s\n" w.Slo.index
+              w.Slo.until w.Slo.completions w.Slo.violations
+              (if w.Slo.attained then "ok" else "MISS"))
+          r.Serve.windows
+
+let serve_cmd =
+  let nodes = Arg.(value & opt int 5 & info [ "nodes" ] ~doc:"Grid size.") in
+  let stages = Arg.(value & opt int 4 & info [ "stages" ] ~doc:"Pipeline stages.") in
+  let horizon =
+    Arg.(value & opt float 600.0 & info [ "horizon" ] ~docv:"S" ~doc:"Arrival horizon in seconds (halved under $(b,--quick)); the queue then drains.")
+  in
+  let arrivals =
+    Arg.(value
+        & opt string "diurnal:1.6,1.2,240"
+        & info [ "arrivals" ] ~docv:"SPEC"
+            ~doc:"Arrival process (same grammar as $(b,simulate --arrivals)).")
+  in
+  let autoscaler =
+    Arg.(value
+        & opt
+            (enum
+               [ ("all", `All); ("static", `Static); ("divergence", `Divergence);
+                 ("queue", `Queue); ("latency", `Latency) ])
+            `All
+        & info [ "autoscaler" ] ~docv:"NAME"
+            ~doc:"Which autoscaler to run: $(b,static), $(b,divergence) (the paper's trigger), \
+                  $(b,queue), $(b,latency), or $(b,all) for a comparison table.")
+  in
+  let provision =
+    Arg.(value
+        & opt float 1.6
+        & info [ "provision" ] ~docv:"RATE"
+            ~doc:"Demand (items/s) the initial mapping is provisioned for; scaling autoscalers \
+                  start on the cheapest mapping covering it, $(b,static) on the \
+                  throughput-best one.")
+  in
+  let threshold = Arg.(value & opt float 6.0 & info [ "slo-threshold" ] ~docv:"S" ~doc:"Sojourn SLO threshold in seconds.") in
+  let quantile = Arg.(value & opt float 0.95 & info [ "slo-quantile" ] ~docv:"Q" ~doc:"SLO target quantile in (0,1).") in
+  let window = Arg.(value & opt float 30.0 & info [ "slo-window" ] ~docv:"S" ~doc:"SLO accounting window in seconds.") in
+  let windows =
+    Arg.(value & flag & info [ "windows" ] ~doc:"Print the per-window attainment series (single-autoscaler runs only).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Open-arrival serving demo: autoscaler policies against a latency SLO")
+    Term.(const serve_cmd_run $ verbose_arg $ quick_arg $ seed_arg $ nodes $ stages $ horizon
+          $ arrivals $ autoscaler $ provision $ threshold $ quantile $ window $ faults_arg
+          $ windows)
 
 (* ----------------------------------------------------------- trace-export *)
 
@@ -545,6 +719,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; experiment_cmd; campaign_cmd; simulate_cmd; trace_export_cmd; metrics_cmd; faults_cmd;
+            list_cmd; experiment_cmd; campaign_cmd; simulate_cmd; serve_cmd; trace_export_cmd; metrics_cmd; faults_cmd;
             farm_cmd; replicate_cmd; calibrate_cmd; forecast_cmd; export_pepa_cmd;
           ]))

@@ -219,6 +219,7 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
               match config.fix_first_on with
               | None -> Predictor.choose predictor
               | Some p -> Predictor.choose ~fix_first_on:p predictor);
+          serving = None;
         }
       in
       Aspipe_obs.Bus.emit bus

@@ -2,6 +2,15 @@ module Mapping = Aspipe_model.Mapping
 module Predictor = Aspipe_model.Predictor
 module Search = Aspipe_model.Search
 
+type serving = {
+  backlog : int;
+  arrival_rate : float;
+  p99_sojourn : float;
+  sojourn_slope : float;
+  slo_threshold : float;
+  choose_cheapest : headroom:float -> Mapping.t option;
+}
+
 type context = {
   time : float;
   current : Mapping.t;
@@ -11,6 +20,7 @@ type context = {
   items_remaining : int;
   migration_stall : Mapping.t -> float;
   choose_best : unit -> Search.result;
+  serving : serving option;
 }
 
 type decision = Keep | Remap of Mapping.t
@@ -68,6 +78,60 @@ let threshold ?(drop = 0.25) ?(min_gain = 0.1) ?(cooldown = 30.0) () =
 
 let always_best () =
   { name = "always_best"; decide = (fun ctx -> consider_switch ~min_gain:0.01 ctx) }
+
+(* Serving-only triggers: both are inert (Keep) when the context carries no
+   serving signals, so they compose with the closed-stream engine without a
+   special case there. *)
+
+let scale_down ~headroom last ctx (s : serving) =
+  match s.choose_cheapest ~headroom with
+  | Some m when not (Mapping.equal m ctx.current) ->
+      last := ctx.time;
+      Remap m
+  | _ -> Keep
+
+let scale_up ~min_gain last ctx =
+  match consider_switch ~min_gain ctx with
+  | Keep -> Keep
+  | Remap m ->
+      last := ctx.time;
+      Remap m
+
+let queue_length ?(high = 64) ?(low = 8) ?(headroom = 1.2) ?(min_gain = 0.02)
+    ?(cooldown = 30.0) () =
+  let last = ref neg_infinity in
+  let decide ctx =
+    match ctx.serving with
+    | None -> Keep
+    | Some s ->
+        if ctx.time -. !last < cooldown then Keep
+        else if s.backlog > high then scale_up ~min_gain last ctx
+        else if s.backlog < low then scale_down ~headroom last ctx s
+        else Keep
+  in
+  { name = "queue_length"; decide }
+
+let latency_gradient ?(margin = 0.8) ?(relax = 0.4) ?(headroom = 1.2) ?(min_gain = 0.02)
+    ?(cooldown = 30.0) () =
+  let last = ref neg_infinity in
+  let decide ctx =
+    match ctx.serving with
+    | None -> Keep
+    | Some s ->
+        if ctx.time -. !last < cooldown || Float.is_nan s.p99_sojourn then Keep
+        else begin
+          (* Act before the breach: trigger when p99 is already inside the
+             margin, or when its slope projects it past the SLO bound within
+             one cooldown. *)
+          let projected = s.p99_sojourn +. (s.sojourn_slope *. cooldown) in
+          if s.p99_sojourn > margin *. s.slo_threshold || projected > s.slo_threshold then
+            scale_up ~min_gain last ctx
+          else if s.p99_sojourn < relax *. s.slo_threshold && s.sojourn_slope <= 0.0 then
+            scale_down ~headroom last ctx s
+          else Keep
+        end
+  in
+  { name = "latency_gradient"; decide }
 
 type failover = {
   enabled : bool;

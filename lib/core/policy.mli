@@ -6,6 +6,23 @@
     clocks etc.), so distinct runs need distinct policy values — obtain them
     from the constructors below. *)
 
+type serving = {
+  backlog : int;  (** items injected but not yet departed *)
+  arrival_rate : float;  (** observed arrivals/s over the last window *)
+  p99_sojourn : float;
+      (** windowed p99 latency estimate; [nan] before any departure *)
+  sojourn_slope : float;
+      (** d(p99)/dt across the last two windows (0 when unknown) *)
+  slo_threshold : float;  (** the SLO latency bound, seconds *)
+  choose_cheapest : headroom:float -> Aspipe_model.Mapping.t option;
+      (** cheapest mapping (fewest distinct nodes, then best predicted
+          rate) whose predicted throughput still covers
+          [arrival_rate × headroom]; [None] when nothing qualifies *)
+}
+(** Signals only an open-arrival (serving) run can produce. The serving
+    driver fills them in; the closed-stream engine passes [None] and the
+    serving-only policies below degrade to [Keep]. *)
+
 type context = {
   time : float;  (** current virtual time *)
   current : Aspipe_model.Mapping.t;
@@ -19,6 +36,8 @@ type context = {
       (** estimated stall (s) of switching to a candidate now *)
   choose_best : unit -> Aspipe_model.Search.result;
       (** run the mapping search under current beliefs *)
+  serving : serving option;
+      (** open-arrival signals; [None] on closed streams *)
 }
 
 type decision = Keep | Remap of Aspipe_model.Mapping.t
@@ -49,6 +68,39 @@ val always_best : unit -> t
 (** Greedy oracle-style policy: switch whenever the search finds anything
     better that amortizes (min_gain = 0.01). Used as the clairvoyant upper
     bound when paired with perfect sensors. *)
+
+(** {2 Serving (autoscaling) triggers}
+
+    These read {!context.serving} and are inert ([Keep]) when it is
+    [None], so they can only act inside an open-arrival run. *)
+
+val queue_length :
+  ?high:int ->
+  ?low:int ->
+  ?headroom:float ->
+  ?min_gain:float ->
+  ?cooldown:float ->
+  unit ->
+  t
+(** Backlog hysteresis: scale {e up} (full mapping search plus the usual
+    gain/amortization test) when more than [high] items are in flight
+    (default 64), scale {e down} to the cheapest mapping still covering
+    [arrival_rate × headroom] (default 1.2) when fewer than [low] (default
+    8); sleep [cooldown] seconds (default 30) between actions. *)
+
+val latency_gradient :
+  ?margin:float ->
+  ?relax:float ->
+  ?headroom:float ->
+  ?min_gain:float ->
+  ?cooldown:float ->
+  unit ->
+  t
+(** Latency-aware trigger acting {e before} the SLO is breached: scale up
+    when windowed p99 exceeds [margin × slo_threshold] (default 0.8) or
+    its slope projects it past the threshold within one cooldown; scale
+    down to the cheapest adequate mapping when p99 sits below
+    [relax × slo_threshold] (default 0.4) and is not rising. *)
 
 (** {2 Failover}
 

@@ -49,6 +49,14 @@ let all =
       run = (fun ~quick -> Exp_fault.run_e19 ~quick) };
     { id = "E20"; kind = Table; title = "Network partition mid-run (blackout, colocate to survive)";
       run = (fun ~quick -> Exp_fault.run_e20 ~quick) };
+    { id = "E21"; kind = Table; title = "Serving: autoscalers over a diurnal arrival cycle";
+      run = (fun ~quick -> Exp_serve.run_e21 ~quick) };
+    { id = "E22"; kind = Table; title = "Serving: flash crowd blind spot of the divergence trigger";
+      run = (fun ~quick -> Exp_serve.run_e22 ~quick) };
+    { id = "E23"; kind = Table; title = "Serving: recorded arrival trace replayed across autoscalers";
+      run = (fun ~quick -> Exp_serve.run_e23 ~quick) };
+    { id = "E24"; kind = Table; title = "Serving: mid-run outage of the provisioned host";
+      run = (fun ~quick -> Exp_serve.run_e24 ~quick) };
   ]
 
 let ids = List.map (fun e -> e.id) all

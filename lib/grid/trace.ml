@@ -14,6 +14,9 @@ type t = {
   mutable completions : (int * float) list;
   mutable adaptations : adaptation list;
   first_start : (int, float) Hashtbl.t;
+  arrivals : (int, float) Hashtbl.t;
+      (* open-arrival stamps from Sojourn events; preferred over first_start
+         when present, so serving traces measure the full queueing delay *)
 }
 
 let create () =
@@ -23,6 +26,7 @@ let create () =
     completions = [];
     adaptations = [];
     first_start = Hashtbl.create 64;
+    arrivals = Hashtbl.create 64;
   }
 
 let record_service t (s : service) =
@@ -48,14 +52,17 @@ let subscribe t bus =
          | Event.Transfer { item; from_stage; src; dst; start; bytes = _ } ->
              record_transfer t { item; from_stage; src; dst; start; finish = event.time }
          | Event.Completion { item } -> record_completion t ~item ~time:event.time
+         | Event.Sojourn { item; arrival } ->
+             if not (Hashtbl.mem t.arrivals item) then Hashtbl.add t.arrivals item arrival
          | Event.Adaptation_committed
              { mapping_before; mapping_after; predicted_gain; migration_cost } ->
              record_adaptation t
                { at = event.time; mapping_before; mapping_after; predicted_gain; migration_cost }
-         | Event.Service_start _ | Event.Queue_sample _ | Event.Calibration_sample _
-         | Event.Monitor_sample _ | Event.Forecast_update _ | Event.Adaptation_considered _
-         | Event.Adaptation_rejected _ | Event.Node_crashed _ | Event.Node_recovered _
-         | Event.Item_lost _ | Event.Item_redispatched _ | Event.Failover_committed _ ->
+         | Event.Service_start _ | Event.Slo_window _ | Event.Queue_sample _
+         | Event.Calibration_sample _ | Event.Monitor_sample _ | Event.Forecast_update _
+         | Event.Adaptation_considered _ | Event.Adaptation_rejected _ | Event.Node_crashed _
+         | Event.Node_recovered _ | Event.Item_lost _ | Event.Item_redispatched _
+         | Event.Failover_committed _ ->
              ()))
 
 let completions t = Array.of_list (List.rev t.completions)
@@ -108,11 +115,30 @@ let services_on_node t ~node =
 let transfers t = List.rev t.transfers
 let adaptations t = List.rev t.adaptations
 
+(* An item's sojourn starts at its open-arrival stamp when one was recorded
+   (Sojourn events carry it) and otherwise at its first service start — the
+   only entry instant a closed-stream trace knows. *)
+let entered t item =
+  match Hashtbl.find_opt t.arrivals item with
+  | Some arrival -> Some arrival
+  | None -> Hashtbl.find_opt t.first_start item
+
+let sojourns t =
+  let series =
+    List.filter_map
+      (fun (item, time) ->
+        match entered t item with
+        | Some start -> Some (item, time -. start)
+        | None -> None)
+      (List.rev t.completions)
+  in
+  Array.of_list series
+
 let mean_sojourn t =
   let total, count =
     List.fold_left
       (fun (total, count) (item, time) ->
-        match Hashtbl.find_opt t.first_start item with
+        match entered t item with
         | Some start -> (total +. (time -. start), count + 1)
         | None -> (total, count))
       (0.0, 0) t.completions

@@ -61,6 +61,13 @@ val transfers : t -> transfer list
 val adaptations : t -> adaptation list
 (** In time order. *)
 
+val sojourns : t -> (int * float) array
+(** Per-item sojourn series, in completion order: [(item, sojourn)] for
+    every completed item whose entry instant is known. The entry instant is
+    the item's open-arrival stamp when the trace recorded a
+    [Aspipe_obs.Event.Sojourn] event for it (serving runs), and its first
+    service start otherwise — so histograms and quantiles are computable
+    from any recorded trace, not just the mean. *)
+
 val mean_sojourn : t -> float
-(** Mean time between an item's first service start and its completion
-    ([nan] if nothing completed). *)
+(** Mean of the {!sojourns} series ([nan] if nothing completed). *)

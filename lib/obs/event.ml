@@ -15,6 +15,14 @@ type payload =
       bytes : float;
     }
   | Completion of { item : int }
+  | Sojourn of { item : int; arrival : float }
+  | Slo_window of {
+      window : int;
+      until : float;
+      completions : int;
+      violations : int;
+      attained : bool;
+    }
   | Queue_sample of { stage : int; depth : int }
   | Calibration_sample of { stage : int; probe : int; measured : float }
   | Monitor_sample of { subject : subject; observed : float }
@@ -48,6 +56,8 @@ let kind = function
   | Service_finish _ -> "service_finish"
   | Transfer _ -> "transfer"
   | Completion _ -> "completion"
+  | Sojourn _ -> "sojourn"
+  | Slo_window _ -> "slo_window"
   | Queue_sample _ -> "queue_sample"
   | Calibration_sample _ -> "calibration_sample"
   | Monitor_sample _ -> "monitor_sample"
@@ -82,6 +92,11 @@ let pp ppf t =
       Format.fprintf ppf " item %d stage %d %d->%d start %.6f bytes %g" item from_stage src dst
         start bytes
   | Completion { item } -> Format.fprintf ppf " item %d" item
+  | Sojourn { item; arrival } -> Format.fprintf ppf " item %d arrival %.6f" item arrival
+  | Slo_window { window; until; completions; violations; attained } ->
+      Format.fprintf ppf " window %d until %.6f completions %d violations %d %s" window until
+        completions violations
+        (if attained then "attained" else "violated")
   | Queue_sample { stage; depth } -> Format.fprintf ppf " stage %d depth %d" stage depth
   | Calibration_sample { stage; probe; measured } ->
       Format.fprintf ppf " stage %d probe %d measured %.6g" stage probe measured

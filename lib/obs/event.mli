@@ -26,6 +26,23 @@ type payload =
       bytes : float;
     }  (** delivery of an item's payload; the event stamp is the arrival. *)
   | Completion of { item : int }  (** item delivered back to the user *)
+  | Sojourn of { item : int; arrival : float }
+      (** the item's full user-visible residence: [arrival] is the instant
+          the item entered the system (the serving layer's open-arrival
+          stamp), the event stamp is its completion, so the sojourn is
+          [time -. arrival]. Emitted alongside {!Completion} when the
+          simulator holds an arrival stamp for the item. *)
+  | Slo_window of {
+      window : int;
+      until : float;
+      completions : int;
+      violations : int;
+      attained : bool;
+    }
+      (** one closed SLO accounting window ([window]-th, ending at [until]):
+          [violations] of the [completions] in it exceeded the latency
+          threshold, and [attained] says whether the window as a whole met
+          its target quantile. Sparse control traffic, one event per window. *)
   | Queue_sample of { stage : int; depth : int }
       (** a stage's pending-queue depth just changed to [depth] *)
   | Calibration_sample of { stage : int; probe : int; measured : float }

@@ -26,6 +26,16 @@ let payload_fields = function
         ("bytes", Json.Float bytes);
       ]
   | Event.Completion { item } -> [ ("item", Json.Int item) ]
+  | Event.Sojourn { item; arrival } ->
+      [ ("item", Json.Int item); ("arrival", Json.Float arrival) ]
+  | Event.Slo_window { window; until; completions; violations; attained } ->
+      [
+        ("window", Json.Int window);
+        ("until", Json.Float until);
+        ("completions", Json.Int completions);
+        ("violations", Json.Int violations);
+        ("attained", Json.Bool attained);
+      ]
   | Event.Queue_sample { stage; depth } ->
       [ ("stage", Json.Int stage); ("depth", Json.Int depth) ]
   | Event.Calibration_sample { stage; probe; measured } ->

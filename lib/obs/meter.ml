@@ -30,6 +30,13 @@ let on_event t (event : Event.t) =
       Metrics.Gauge.add (gauge "transfers.bytes") bytes;
       Metrics.Histogram.observe (histogram "transfer.time") (event.time -. start)
   | Event.Completion _ -> Metrics.Counter.incr (counter "items.completed")
+  | Event.Sojourn { arrival; _ } ->
+      Metrics.Histogram.observe (histogram "serve.sojourn") (event.time -. arrival)
+  | Event.Slo_window { completions; violations; attained; _ } ->
+      Metrics.Counter.incr (counter "slo.windows");
+      if not attained then Metrics.Counter.incr (counter "slo.windows_violated");
+      Metrics.Counter.add (counter "slo.completions") completions;
+      Metrics.Counter.add (counter "slo.violations") violations
   | Event.Queue_sample { stage; depth } ->
       Metrics.Gauge.set (gauge (Printf.sprintf "stage.%d.queue_depth.now" stage))
         (Float.of_int depth);

@@ -133,6 +133,7 @@ type histogram_stats = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   buckets : (float * float * int) list;
 }
 
@@ -160,6 +161,7 @@ let snapshot t =
               p50 = Histogram.quantile h 0.5;
               p90 = Histogram.quantile h 0.9;
               p99 = Histogram.quantile h 0.99;
+              p999 = Histogram.quantile h 0.999;
               buckets = Histogram.sorted_buckets h;
             }
           in
@@ -187,12 +189,12 @@ let render s =
   if s.histograms <> [] then begin
     let table =
       Render.Table.create ~title:"histograms"
-        ~columns:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+        ~columns:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "p999"; "max" ]
     in
     List.iter
       (fun (name, h) ->
         Render.Table.add_float_row table ~precision:4
-          (name, [ Float.of_int h.count; h.mean; h.p50; h.p90; h.p99; h.max ]))
+          (name, [ Float.of_int h.count; h.mean; h.p50; h.p90; h.p99; h.p999; h.max ]))
       s.histograms;
     Buffer.add_string buffer (Render.Table.to_string table);
     List.iter
@@ -225,6 +227,7 @@ let snapshot_to_json s =
         ("p50", Json.Float h.p50);
         ("p90", Json.Float h.p90);
         ("p99", Json.Float h.p99);
+        ("p999", Json.Float h.p999);
         ( "buckets",
           Json.List
             (List.map

@@ -63,6 +63,7 @@ type histogram_stats = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   buckets : (float * float * int) list;
 }
 

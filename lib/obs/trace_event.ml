@@ -136,9 +136,25 @@ let to_json t =
                  ~name:(Printf.sprintf "availability node %d" i)
                  ~cat:"monitor" ~ph:"C" ~ts:event.time ~pid:grid_pid ~tid:0
                  [ ("args", Json.Obj [ ("availability", Json.Float observed) ]) ])
-        | Event.Service_start _ | Event.Queue_sample _ | Event.Calibration_sample _
-        | Event.Monitor_sample _ | Event.Forecast_update _ | Event.Adaptation_considered _
-        | Event.Adaptation_rejected _ | Event.Item_lost _ | Event.Item_redispatched _ ->
+        | Event.Slo_window { window; until = _; completions; violations; attained } ->
+            Some
+              (base
+                 ~name:(if attained then "SLO window attained" else "SLO window violated")
+                 ~cat:"slo" ~ph:"i" ~ts:event.time ~pid:grid_pid ~tid:0
+                 [
+                   ("s", Json.String "g");
+                   ( "args",
+                     Json.Obj
+                       [
+                         ("window", Json.Int window);
+                         ("completions", Json.Int completions);
+                         ("violations", Json.Int violations);
+                       ] );
+                 ])
+        | Event.Service_start _ | Event.Sojourn _ | Event.Queue_sample _
+        | Event.Calibration_sample _ | Event.Monitor_sample _ | Event.Forecast_update _
+        | Event.Adaptation_considered _ | Event.Adaptation_rejected _ | Event.Item_lost _
+        | Event.Item_redispatched _ ->
             None)
       events
   in

@@ -1,0 +1,27 @@
+module Policy = Aspipe_core.Policy
+
+type t = { name : string; fresh : unit -> Policy.t }
+
+let name t = t.name
+let fresh t = t.fresh ()
+
+let static () = { name = "static"; fresh = (fun () -> Policy.never ()) }
+
+let remap_on_divergence ?drop ?min_gain ?cooldown () =
+  {
+    name = "remap-on-divergence";
+    fresh = (fun () -> Policy.threshold ?drop ?min_gain ?cooldown ());
+  }
+
+let queue_length ?high ?low ?headroom ?min_gain ?cooldown () =
+  {
+    name = "queue-length";
+    fresh = (fun () -> Policy.queue_length ?high ?low ?headroom ?min_gain ?cooldown ());
+  }
+
+let latency_gradient ?margin ?relax ?headroom ?min_gain ?cooldown () =
+  {
+    name = "latency-gradient";
+    fresh =
+      (fun () -> Policy.latency_gradient ?margin ?relax ?headroom ?min_gain ?cooldown ());
+  }

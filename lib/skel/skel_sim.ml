@@ -41,6 +41,15 @@ type t = {
   work_seed : int;
   input : Stream_spec.t;
   queue_capacity : int option;  (* per-stage buffer bound; None = unbounded *)
+  open_stream : bool;
+      (* arrivals are injected by an external driver (the serving layer)
+         rather than scheduled from [input] at creation; items_total tracks
+         what has actually been injected *)
+  arrival_stamps : (int, float) Hashtbl.t;
+      (* item -> open-arrival instant, removed at completion; only populated
+         in open-stream mode so closed runs keep their exact event stream *)
+  on_completion : (item:int -> arrival:float -> unit) option;
+  mutable injected : int;
   mutable completed : int;
   mutable lost_total : int;
   mutable redispatched_total : int;
@@ -118,6 +127,14 @@ and forward t ~item ~from_stage ~from_node ~on_delivered =
     Link.transfer link ~bytes (fun () ->
         t.completed <- t.completed + 1;
         if Bus.active t.bus then Bus.emit t.bus (Event.Completion { item });
+        if t.open_stream then begin
+          match Hashtbl.find_opt t.arrival_stamps item with
+          | Some arrival ->
+              Hashtbl.remove t.arrival_stamps item;
+              if Bus.active t.bus then Bus.emit t.bus (Event.Sojourn { item; arrival });
+              (match t.on_completion with Some f -> f ~item ~arrival | None -> ())
+          | None -> ()
+        end;
         on_delivered ())
   else begin
     let dst_stage = t.stages.(from_stage + 1) in
@@ -261,7 +278,8 @@ let on_recover t node =
       end)
     t.stages
 
-let create ?queue_capacity ?trace ~rng ~topo ~stages ~mapping ~input () =
+let create ?queue_capacity ?trace ?(arrivals = `From_input) ?on_completion ~rng ~topo ~stages
+    ~mapping ~input () =
   check_mapping topo stages mapping;
   if Array.length stages = 0 then invalid_arg "Skel_sim: empty pipeline";
   (match queue_capacity with
@@ -300,6 +318,10 @@ let create ?queue_capacity ?trace ~rng ~topo ~stages ~mapping ~input () =
       work_seed = Int64.to_int (Rng.bits64 rng) land max_int;
       input;
       queue_capacity;
+      open_stream = (arrivals = `External);
+      arrival_stamps = Hashtbl.create (if arrivals = `External then 1024 else 1);
+      on_completion;
+      injected = (if arrivals = `External then 0 else input.Stream_spec.items);
       completed = 0;
       lost_total = 0;
       redispatched_total = 0;
@@ -315,11 +337,29 @@ let create ?queue_capacity ?trace ~rng ~topo ~stages ~mapping ~input () =
          | Event.Node_crashed { node } -> on_crash t node
          | Event.Node_recovered { node } -> on_recover t node
          | _ -> ()));
-  let arrivals = Stream_spec.arrival_times input rng in
-  Array.iteri
-    (fun item time -> ignore (Engine.schedule_at engine ~time (fun () -> inject t ~item)))
-    arrivals;
+  (match arrivals with
+  | `External -> ()
+  | `From_input ->
+      let times = Stream_spec.arrival_times input rng in
+      Array.iteri
+        (fun item time -> ignore (Engine.schedule_at engine ~time (fun () -> inject t ~item)))
+        times);
   t
+
+(* Open-arrival entry point: the serving layer calls this from its own
+   arrival events. The stamp is taken before the user-link transfer starts,
+   so the recorded sojourn covers the full user-visible residence. *)
+let inject_external t ~item =
+  if not t.open_stream then
+    invalid_arg "Skel_sim.inject: simulator was created with ~arrivals:`From_input";
+  Hashtbl.replace t.arrival_stamps item (Engine.now t.engine);
+  t.injected <- t.injected + 1;
+  inject t ~item
+
+(* The exported [inject] is the stamping open-stream one; the closed path's
+   internal injector above keeps its name for the arrival scheduling in
+   [create]. *)
+let inject = inject_external
 
 let mapping t = Array.map (fun s -> s.node) t.stages
 
@@ -404,7 +444,8 @@ let failover t new_mapping =
 
 let migrating t = Array.exists (fun s -> s.migrating_to <> None) t.stages
 
-let items_total t = t.input.Stream_spec.items
+let items_total t = if t.open_stream then t.injected else t.input.Stream_spec.items
+let items_injected t = t.injected
 let items_completed t = t.completed
 let finished t = t.completed = items_total t
 

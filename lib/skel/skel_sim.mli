@@ -42,6 +42,8 @@ type t
 val create :
   ?queue_capacity:int ->
   ?trace:Aspipe_grid.Trace.t ->
+  ?arrivals:[ `From_input | `External ] ->
+  ?on_completion:(item:int -> arrival:float -> unit) ->
   rng:Aspipe_util.Rng.t ->
   topo:Aspipe_grid.Topology.t ->
   stages:Stage.t array ->
@@ -55,9 +57,32 @@ val create :
     with capacity 1 the pipeline approaches the bufferless synchronization
     of the CTMC model. [trace], when given, is subscribed to the engine bus
     as a full-stream sink; without it (or any other such sink) the run is
-    unobserved and the hot path emits no event payloads at all. Raises
-    [Invalid_argument] if the mapping length differs from the stage count,
-    names an unknown node, or the capacity is below 1. *)
+    unobserved and the hot path emits no event payloads at all.
+
+    [arrivals] selects the stream model. The default, [`From_input],
+    schedules the closed stream described by [input] up front, exactly as
+    before. [`External] opens the stream: [input]'s arrival spec and item
+    count are ignored, items enter only through {!inject} (typically from a
+    lazily self-rescheduling {e arrival process} living on the same
+    engine), every injected item is stamped with its arrival instant, and
+    each departure emits an {!Aspipe_obs.Event.Sojourn} carrying that stamp
+    — latency becomes a first-class output. [on_completion], fired after
+    the emit, lets a serving driver account SLO windows without paying a
+    bus subscription on closed runs.
+
+    Raises [Invalid_argument] if the mapping length differs from the stage
+    count, names an unknown node, or the capacity is below 1. *)
+
+val inject : t -> item:int -> unit
+(** Open-stream arrival: stamps [item] with the current virtual time and
+    hands it to the first stage (crossing the user link like any other
+    arrival). Only valid on a simulator created with [~arrivals:`External]
+    — raises [Invalid_argument] on a closed-stream simulator, whose
+    arrivals were already scheduled by {!create}. *)
+
+val items_injected : t -> int
+(** Arrivals accepted so far via {!inject} (0 on closed streams, where
+    {!items_total} counts the input spec instead). *)
 
 val mapping : t -> int array
 (** Current stage→node assignment (updated by completed migrations). *)

@@ -1,10 +1,21 @@
 (** Input-stream specifications: how many items enter the pipeline, when,
-    and how large each item's payload is on the user link. *)
+    and how large each item's payload is on the user link.
+
+    A stream spec describes a {e closed} input: a known, finite batch whose
+    arrival instants can be materialized up front. Open-ended serving
+    workloads (time-varying Poisson, Markov-modulated, trace replay) live
+    in [Aspipe_serve.Arrival], which generates arrivals lazily on the
+    engine; a closed stream is the bounded special case, embedded there by
+    [Arrival.of_stream_spec]. *)
 
 type arrival =
   | Immediate  (** the whole input set is available at t = 0 *)
   | Spaced of float  (** one item every [interval] seconds *)
   | Poisson of float  (** exponential inter-arrivals with the given rate *)
+      (** Note: these constructors are kept for closed-batch experiments
+          (E1–E20) and remain fully supported there, but new open-arrival
+          work should prefer [Aspipe_serve.Arrival] — [Poisson] here is the
+          bounded, pre-materialized form of [Arrival.poisson]. *)
 
 type t = { items : int; arrival : arrival; item_bytes : float }
 

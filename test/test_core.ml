@@ -131,6 +131,7 @@ let make_context ?(observed = 10.0) ?(adopted = 10.0) ?(items_remaining = 1000)
     items_remaining;
     migration_stall = (fun _ -> stall);
     choose_best = (fun () -> Predictor.choose predictor);
+    serving = None;
   }
 
 let test_policy_never () =

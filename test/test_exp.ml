@@ -13,9 +13,9 @@ let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
 (* ------------------------------------------------------------- Registry *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "twenty experiments" 20 (List.length Registry.all);
+  Alcotest.(check int) "twenty-four experiments" 24 (List.length Registry.all);
   let ids = List.map (fun e -> e.Registry.id) Registry.all in
-  Alcotest.(check int) "ids unique" 20 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "ids unique" 24 (List.length (List.sort_uniq compare ids));
   List.iteri
     (fun i id -> Alcotest.(check string) "ordered ids" (Printf.sprintf "E%d" (i + 1)) id)
     ids

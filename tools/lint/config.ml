@@ -64,7 +64,7 @@ let raw_print_idents =
 let control_events =
   [
     "Node_crashed"; "Node_recovered"; "Adaptation_considered"; "Adaptation_committed";
-    "Adaptation_rejected"; "Failover_committed";
+    "Adaptation_rejected"; "Failover_committed"; "Slo_window";
   ]
 
 (* ------------------------------------------------------ R5 domain-safety *)
