@@ -34,7 +34,15 @@
                                               jobs 1)
           ... --oversubscribe                (lift the campaign runner's
                                               worker cap at the core
-                                              count) *)
+                                              count)
+          ... --mc [--quick]                 (shared-memory backend sweep:
+                                              Chan vs lock-free SPSC rings
+                                              vs the DES prediction, over
+                                              items x stages x batch;
+                                              digest-checked, gated, written
+                                              to --mc-out, default
+                                              BENCH_8.json)
+          ... --mc --mc-items N              (override the items axis) *)
 
 open Bechamel
 open Toolkit
@@ -387,6 +395,226 @@ let run_jobs_sweep ~quick ~oversubscribe ~out =
   Printf.printf "wrote %s\n" out;
   if not (sweep_gate sweep) then exit 1
 
+(* --- multicore backend bench (--mc) ----------------------------------- *)
+
+(* Throughput of the shared-memory pipeline backend over a sweep of
+   items × stage count × transfer batch size, measured twice per shape —
+   once over the legacy mutex+condvar Chan path, once over the lock-free
+   SPSC rings — and compared with the DES prediction for the same shape
+   (the simulator run in virtual time with the measured per-stage cost, at
+   a reduced item count; steady-state virtual throughput is the model's
+   claim about ideal pipelining). Every run folds the output stream into a
+   digest that must agree across all three paths, so the speedup numbers
+   are backed by an equivalence check. Results go to BENCH_8.json
+   (aspipe-bench/1 schema) with a host-aware regression gate. *)
+
+module McPipe = Aspipe_skel.Pipe
+module Skel_mc = Aspipe_skel.Skel_mc
+
+(* Integer stages with a few ALU ops each: enough work to be a real stage
+   function, small enough that channel overhead dominates — the regime the
+   SPSC rings exist for. *)
+let mc_stage s x = ((x * 16777619) + s) land 0x3FFFFFFF
+let mc_digest acc y = ((acc lxor y) * 31) land 0x3FFFFFFF
+
+let mc_chain ~stages =
+  let rec chain s =
+    if s = stages - 1 then McPipe.last (mc_stage s) else McPipe.Stage (mc_stage s, chain (s + 1))
+  in
+  chain 0
+
+let mc_capacity = 1024
+
+(* Sequential reference: digest and per-item cost, without materializing
+   the stream. *)
+let mc_seq ~stages ~items =
+  let chain = mc_chain ~stages in
+  let digest = ref 0 in
+  let t0 = wall () in
+  for i = 0 to items - 1 do
+    digest := mc_digest !digest (McPipe.apply chain i)
+  done;
+  (!digest, wall () -. t0)
+
+(* The DES prediction: the same shape in virtual time — [stages] uniform
+   nodes, the measured per-stage service cost, negligible transfer costs —
+   at a reduced item count (steady state is reached long before 20k items).
+   Virtual items/second is what the model says an ideally pipelined
+   execution of this chain should sustain. *)
+let mc_des_prediction ~stages ~per_stage_seconds ~items =
+  let sim_items = min items 20_000 in
+  let engine = Engine.create () in
+  let topo =
+    Aspipe_grid.Topology.uniform engine ~n:stages ~speed:1.0 ~latency:1e-9 ~bandwidth:1e12 ()
+  in
+  let work = Float.max per_stage_seconds 1e-12 in
+  let stage_defs = Aspipe_skel.Stage.balanced ~n:stages ~work () in
+  let mapping = Array.init stages Fun.id in
+  let input = Aspipe_skel.Stream_spec.make ~items:sim_items ~item_bytes:1.0 () in
+  let trace =
+    Aspipe_skel.Skel_sim.execute ~rng:(Rng.create 7) ~queue_capacity:mc_capacity ~topo
+      ~stages:stage_defs ~mapping ~input ()
+  in
+  let completions = Aspipe_grid.Trace.completions trace in
+  let t_last = snd completions.(Array.length completions - 1) in
+  Float.of_int sim_items /. t_last
+
+type mc_point = {
+  p_items : int;
+  p_stages : int;
+  p_batch : int;
+  p_chan_ips : float;
+  p_spsc_ips : float;
+  p_pred_ips : float;
+}
+
+(* The regression gate adapts to the host: the ≥5x claim is only honest on
+   a multi-core machine at full scale (the acceptance shape: >= 4 cores,
+   10^7 items, batch >= 16); a 2–3-core host must still show the rings no
+   slower than the mutexes; a single core runs 6+ domains oversubscribed,
+   where parity-within-2x is the measured cost of spinning without
+   parallelism (both numbers are recorded either way). *)
+let mc_required_ratio ~cores ~items =
+  if cores >= 4 && items >= 10_000_000 then 5.0 else if cores >= 2 then 1.0 else 0.5
+
+let run_mc ~quick ~out ~items_override =
+  let cores = Domain.recommended_domain_count () in
+  let items_list =
+    match items_override with
+    | Some n -> [ n ]
+    | None -> if quick then [ 1_000_000 ] else [ 1_000_000; 10_000_000 ]
+  in
+  let stage_counts = [ 2; 4 ] in
+  let batches = [ 1; 16; 64 ] in
+  Printf.printf "######## Multicore backend bench (Chan vs SPSC, capacity %d) ########\n" mc_capacity;
+  Printf.printf "cores: %d\n" cores;
+  let points =
+    List.concat_map
+      (fun items ->
+        List.concat_map
+          (fun stages ->
+            let chain = mc_chain ~stages in
+            let seq_digest, seq_secs = mc_seq ~stages ~items in
+            let per_stage = seq_secs /. Float.of_int items /. Float.of_int stages in
+            let pred = mc_des_prediction ~stages ~per_stage_seconds:per_stage ~items in
+            let check path d =
+              if d <> seq_digest then begin
+                Printf.eprintf "bench --mc: %s digest mismatch at items=%d stages=%d\n" path items
+                  stages;
+                exit 2
+              end
+            in
+            let t0 = wall () in
+            let dchan =
+              Skel_mc.run_chan_fold ~capacity:mc_capacity chain ~items ~gen:Fun.id ~init:0
+                ~f:mc_digest
+            in
+            let chan_secs = wall () -. t0 in
+            check "chan" dchan;
+            let chan_ips = Float.of_int items /. chan_secs in
+            Printf.printf
+              "items=%.0e stages=%d  seq %9.0f it/s  chan %9.0f it/s  model %9.0f it/s\n"
+              (Float.of_int items) stages
+              (Float.of_int items /. seq_secs)
+              chan_ips pred;
+            List.map
+              (fun batch ->
+                let t0 = wall () in
+                let d =
+                  Skel_mc.run_fold ~capacity:mc_capacity ~batch chain ~items ~gen:Fun.id ~init:0
+                    ~f:mc_digest
+                in
+                let secs = wall () -. t0 in
+                check "spsc" d;
+                let ips = Float.of_int items /. secs in
+                Printf.printf "  spsc batch=%-3d %9.0f it/s  %5.2fx chan  %5.2fx model\n" batch ips
+                  (ips /. chan_ips) (ips /. pred);
+                {
+                  p_items = items;
+                  p_stages = stages;
+                  p_batch = batch;
+                  p_chan_ips = chan_ips;
+                  p_spsc_ips = ips;
+                  p_pred_ips = pred;
+                })
+              batches)
+          stage_counts)
+      items_list
+  in
+  (* Gate on the largest shape: most stages, most items, batch >= 16. *)
+  let gate_items = List.fold_left max 0 (List.map (fun p -> p.p_items) points) in
+  let gate_stages = List.fold_left max 0 (List.map (fun p -> p.p_stages) points) in
+  let candidates =
+    List.filter
+      (fun p -> p.p_items = gate_items && p.p_stages = gate_stages && p.p_batch >= 16)
+      points
+  in
+  let best_ratio =
+    List.fold_left (fun acc p -> Float.max acc (p.p_spsc_ips /. p.p_chan_ips)) 0.0 candidates
+  in
+  let required = mc_required_ratio ~cores ~items:gate_items in
+  let pass = best_ratio >= required in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "aspipe-bench/1");
+        ("quick", Json.Bool quick);
+        ("ocaml", Json.String Sys.ocaml_version);
+        ("cores", Json.Int cores);
+        ( "method",
+          Json.String
+            "mc backend sweep: items x stages x batch, digest-checked; chan = legacy \
+             mutex+condvar channels, spsc = lock-free SPSC rings, model = DES prediction at \
+             measured per-stage cost" );
+        ( "mc",
+          Json.Obj
+            [
+              ("capacity", Json.Int mc_capacity);
+              ( "sweep",
+                Json.List
+                  (List.map
+                     (fun p ->
+                       Json.Obj
+                         [
+                           ("items", Json.Int p.p_items);
+                           ("stages", Json.Int p.p_stages);
+                           ("batch", Json.Int p.p_batch);
+                           ("chan_items_per_sec", Json.Float p.p_chan_ips);
+                           ("spsc_items_per_sec", Json.Float p.p_spsc_ips);
+                           ("speedup_vs_chan", Json.Float (p.p_spsc_ips /. p.p_chan_ips));
+                           ("des_predicted_items_per_sec", Json.Float p.p_pred_ips);
+                         ])
+                     points) );
+              ( "gate",
+                Json.Obj
+                  [
+                    ("items", Json.Int gate_items);
+                    ("stages", Json.Int gate_stages);
+                    ("min_batch", Json.Int 16);
+                    ("cores", Json.Int cores);
+                    ("required_ratio", Json.Float required);
+                    ("best_ratio", Json.Float best_ratio);
+                    ("pass", Json.Bool pass);
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if pass then
+    Printf.printf "mc gate: spsc/chan %.2fx >= %.2fx required (%d cores, %d items) — ok\n"
+      best_ratio required cores gate_items
+  else begin
+    Printf.eprintf
+      "mc gate: REGRESSION — spsc/chan %.2fx below the %.2fx required on this host (%d cores, %d \
+       items, batch >= 16)\n"
+      best_ratio required cores gate_items;
+    exit 1
+  end
+
 let run_perf ~quick ~out ~baseline_file =
   (* Warm-ups mirror the measured shapes at reduced size. *)
   ignore (des_microbench ~timers:64 ~events:10_000);
@@ -536,6 +764,21 @@ let () =
   if List.mem "--jobs-sweep" args then begin
     let out = Option.value (flag_value "--perf-out") ~default:"BENCH_5.json" in
     run_jobs_sweep ~quick ~oversubscribe ~out;
+    exit 0
+  end;
+  if List.mem "--mc" args then begin
+    let out = Option.value (flag_value "--mc-out") ~default:"BENCH_8.json" in
+    let items_override =
+      match flag_value "--mc-items" with
+      | None -> None
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> Some n
+          | _ ->
+              Printf.eprintf "bench: --mc-items expects a positive integer, got %S\n" v;
+              exit 2)
+    in
+    run_mc ~quick ~out ~items_override;
     exit 0
   end;
   (match Aspipe_runner.Campaign.run ~jobs ~oversubscribe ?cache_dir ?only ~quick () with

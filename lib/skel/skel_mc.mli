@@ -1,23 +1,69 @@
 (** The shared-memory execution backend: one OCaml 5 domain per (possibly
-    fused) pipeline stage, connected by bounded channels.
+    fused) pipeline stage, connected by lock-free SPSC ring FIFOs
+    ({!Aspipe_util.Spsc}) with batched item transfer.
 
     This is the backend used by the real-speedup experiments: the same
     {!Pipe.t} program runs sequentially ({!run_seq}), with one domain per
     stage ({!run}), or with stages fused into processor groups
-    ({!run_grouped}) — the shared-memory analogue of the grid mapping. *)
+    ({!run_grouped}) — the shared-memory analogue of the grid mapping. The
+    pre-SPSC mutex+condvar channel backend survives as {!run_chan}, the
+    measured baseline of `bench --mc` (BENCH_8.json). *)
 
 val run_seq : ('a, 'b) Pipe.t -> 'a list -> 'b list
 (** Reference semantics, zero parallelism. *)
 
-val run : ?capacity:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list
+val run : ?capacity:int -> ?batch:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list
 (** One domain per stage, plus a feeder. Output order equals input order.
-    [capacity] bounds each inter-stage channel (default 8). *)
+    [capacity] bounds each inter-stage ring (default 8, rounded up to a
+    power of two); [batch] (default 1) is the chunk size of every
+    inter-stage transfer — larger batches amortise the two atomic index
+    updates per handoff over many items. Raises [Invalid_argument] on a
+    non-positive [capacity] or [batch]; any exception raised by a stage
+    function is re-raised here after the chain shuts down. *)
 
-val run_grouped : ?capacity:int -> groups:int array -> ('a, 'b) Pipe.t -> 'a list -> 'b list
+val run_grouped :
+  ?capacity:int -> ?batch:int -> groups:int array -> ('a, 'b) Pipe.t -> 'a list -> 'b list
 (** Fuses stages per {!Pipe.fuse_groups} first, then runs one domain per
     group. *)
 
-val run_timed : ?capacity:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list * float
-(** {!run} plus wall-clock seconds (monotonic clock). *)
+val run_fold :
+  ?capacity:int ->
+  ?batch:int ->
+  ('a, 'b) Pipe.t ->
+  items:int ->
+  gen:(int -> 'a) ->
+  init:'c ->
+  f:('c -> 'b -> 'c) ->
+  'c
+(** [run] without materializing either stream: feeds [gen 0 .. gen (items-1)]
+    and folds the outputs in order on the caller's domain. The
+    tens-of-millions-of-items benchmark path. *)
+
+val run_chan : ?capacity:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list
+(** The legacy backend over {!Chan} (mutex+condvar bounded channels,
+    one-item-at-a-time handoff). Same semantics as {!run}; kept as the
+    benchmark baseline and differential-test foil. *)
+
+val run_chan_fold :
+  ?capacity:int ->
+  ('a, 'b) Pipe.t ->
+  items:int ->
+  gen:(int -> 'a) ->
+  init:'c ->
+  f:('c -> 'b -> 'c) ->
+  'c
+(** {!run_fold} over the legacy {!Chan} backend. *)
+
+val pump : batch:int -> ('a -> 'b) -> 'a Aspipe_util.Spsc.t -> 'b Aspipe_util.Spsc.t -> unit
+(** The per-stage loop: chunked pop → apply → chunked push, with the
+    close/failure relay protocol. Exposed for {!Farm_mc}'s streaming farm;
+    not intended for direct use. *)
+
+val now_seconds : unit -> float
+(** Monotonic clock (bechamel's [Monotonic_clock]), seconds since an
+    arbitrary epoch — for durations only. *)
+
+val run_timed : ?capacity:int -> ?batch:int -> ('a, 'b) Pipe.t -> 'a list -> 'b list * float
+(** {!run} plus elapsed seconds (monotonic clock). *)
 
 val run_seq_timed : ('a, 'b) Pipe.t -> 'a list -> 'b list * float

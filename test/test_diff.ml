@@ -26,16 +26,21 @@ let qtest ?(count = 60) name gen prop =
    stays fast: [stages] pipeline stages over [nodes] uniform nodes with a
    round-robin mapping, [items] inputs, [capacity] bounding both the DES
    stage queues and the Domains channels. *)
-type shape = { stages : int; nodes : int; items : int; capacity : int }
+type shape = { stages : int; nodes : int; items : int; capacity : int; batch : int }
 
 let shape_gen =
   QCheck2.Gen.(
     map
-      (fun ((stages, nodes), (items, capacity)) -> { stages; nodes; items; capacity })
-      (pair (pair (int_range 1 4) (int_range 1 3)) (pair (int_range 1 30) (int_range 1 6))))
+      (fun ((stages, nodes), (items, capacity), batch) ->
+        { stages; nodes; items; capacity; batch })
+      (triple
+         (pair (int_range 1 4) (int_range 1 3))
+         (pair (int_range 1 30) (int_range 1 6))
+         (int_range 1 8)))
 
 let pp_shape s =
-  Printf.sprintf "{stages=%d; nodes=%d; items=%d; capacity=%d}" s.stages s.nodes s.items s.capacity
+  Printf.sprintf "{stages=%d; nodes=%d; items=%d; capacity=%d; batch=%d}" s.stages s.nodes s.items
+    s.capacity s.batch
 
 (* --------------------------------------------------- DES side of the diff *)
 
@@ -46,7 +51,7 @@ let run_sim shape =
   in
   let stages = Stage.balanced ~n:shape.stages ~work:0.1 () in
   let mapping = Array.init shape.stages (fun i -> i mod shape.nodes) in
-  let input = Stream_spec.make ~items:shape.items ~item_bytes:10.0 () in
+  let input = Stream_spec.make ~items:shape.items ~item_bytes:10.0 ~batch:shape.batch () in
   Skel_sim.execute ~rng:(Rng.create 5) ~queue_capacity:shape.capacity ~topo ~stages ~mapping
     ~input ()
 
@@ -70,7 +75,7 @@ let run_mc shape =
   in
   let pipe = chain 0 in
   let inputs = List.init shape.items Fun.id in
-  let outputs = Skel_mc.run ~capacity:shape.capacity pipe inputs in
+  let outputs = Skel_mc.run ~capacity:shape.capacity ~batch:shape.batch pipe inputs in
   (* Snapshot the counters before the reference run — [Pipe.apply] walks
      the same counting stages. *)
   let counts = Array.map Atomic.get visits in
@@ -125,12 +130,65 @@ let test_corner_grid () =
       Alcotest.(check bool) (pp_shape shape ^ " visits") true (prop_stage_visits_agree shape);
       Alcotest.(check bool) (pp_shape shape ^ " order") true (prop_output_order_agrees shape))
     [
-      { stages = 1; nodes = 1; items = 1; capacity = 1 };
-      { stages = 1; nodes = 3; items = 10; capacity = 1 };
-      { stages = 4; nodes = 1; items = 10; capacity = 1 };
-      { stages = 4; nodes = 2; items = 25; capacity = 2 };
-      { stages = 3; nodes = 3; items = 12; capacity = 6 };
+      { stages = 1; nodes = 1; items = 1; capacity = 1; batch = 1 };
+      { stages = 1; nodes = 3; items = 10; capacity = 1; batch = 4 };
+      { stages = 4; nodes = 1; items = 10; capacity = 1; batch = 64 };
+      { stages = 4; nodes = 2; items = 25; capacity = 2; batch = 8 };
+      { stages = 3; nodes = 3; items = 12; capacity = 6; batch = 2 };
     ]
+
+(* -------------------------------------------------- large-stream battery *)
+
+(* The SPSC backend at real stream length: 10^5 items through every
+   (stages × batch × capacity) corner the benchmark sweeps, each output
+   list compared for structural equality against the sequential reference
+   and every stage's visit counter checked for exactly-once service. This
+   is the scale where a lost wake-up, a dropped chunk tail or an index-wrap
+   bug actually manifests — the small random shapes above cannot reach
+   wrap-around at capacity 64. *)
+let test_large_stream_grid () =
+  let items = 100_000 in
+  List.iter
+    (fun stages ->
+      List.iter
+        (fun batch ->
+          List.iter
+            (fun capacity ->
+              let visits = Array.init stages (fun _ -> Atomic.make 0) in
+              let stage s x =
+                Atomic.incr visits.(s);
+                (x * 7) + s
+              in
+              let rec chain s =
+                if s = stages - 1 then Pipe.last (stage s) else Pipe.Stage (stage s, chain (s + 1))
+              in
+              let pipe = chain 0 in
+              let inputs = List.init items Fun.id in
+              let outputs = Skel_mc.run ~capacity ~batch pipe inputs in
+              (* Snapshot before the reference run walks the same counters. *)
+              let counts = Array.map Atomic.get visits in
+              let label =
+                Printf.sprintf "stages=%d batch=%d capacity=%d items=%d" stages batch capacity
+                  items
+              in
+              let reference = Skel_mc.run_seq pipe inputs in
+              if outputs <> reference then Alcotest.failf "%s: outputs diverge from run_seq" label;
+              Array.iteri
+                (fun s c ->
+                  if c <> items then
+                    Alcotest.failf "%s: stage %d served %d times, expected %d" label s c items)
+                counts)
+            [ 1; 64 ])
+        [ 1; 8; 64 ])
+    [ 2; 4 ]
+
+(* One full-length differential against the simulator: at 10^5 items both
+   backends must still agree that every stage serves every item and that
+   the stream leaves in input order. *)
+let test_large_sim_vs_mc () =
+  let shape = { stages = 4; nodes = 2; items = 100_000; capacity = 64; batch = 16 } in
+  Alcotest.(check bool) (pp_shape shape ^ " visits") true (prop_stage_visits_agree shape);
+  Alcotest.(check bool) (pp_shape shape ^ " order") true (prop_output_order_agrees shape)
 
 let () =
   Alcotest.run "aspipe_diff"
@@ -141,5 +199,7 @@ let () =
           test_order;
           test_monotone;
           Alcotest.test_case "corner grid" `Quick test_corner_grid;
+          Alcotest.test_case "large stream grid" `Slow test_large_stream_grid;
+          Alcotest.test_case "large sim-vs-mc" `Slow test_large_sim_vs_mc;
         ] );
     ]

@@ -136,8 +136,21 @@ let test_r5_shared_state () =
     (rules_of (lint "let create () = Hashtbl.create 16\n"));
   rule_list "nested module state flagged" [ "R5" ]
     (rules_of (lint "module M = struct let cache = Hashtbl.create 8 end\n"));
+  rule_list "structure-level Chan flagged" [ "R5" ]
+    (rules_of (lint "let bus = Chan.create ~capacity:8\n"));
+  rule_list "structure-level Spsc ring flagged" [ "R5" ]
+    (rules_of (lint "let ring = Spsc.create ~capacity:64\n"));
+  rule_list "qualified Spsc flagged too" [ "R5" ]
+    (rules_of (lint "let ring = Aspipe_util.Spsc.create ~capacity:64\n"));
+  rule_list "per-run channel creation is fine" []
+    (rules_of (lint "let connect n = Array.init n (fun _ -> Spsc.create ~capacity:8)\n"));
   rule_list "outside lib/ not in scope" []
     (rules_of (lint ~path:"bench/main.ml" "let hook = ref None\n"));
+  rule_list "channel waiver" []
+    (rules_of
+       (lint
+          "(* lint: shared-state-ok test harness fixture, single consumer *)\n\
+           let ring = Spsc.create ~capacity:4\n"));
   rule_list "waiver" []
     (rules_of (lint "(* lint: shared-state-ok guarded by the pool's init barrier *)\nlet hook = ref None\n"))
 

@@ -90,6 +90,52 @@ let test_one_group_capacity_one_order () =
   Alcotest.(check (list int)) "everything fused on one domain, capacity 1" expected
     (Skel_mc.run_grouped ~capacity:1 ~groups:[| 0; 0; 0; 0 |] int_chain inputs)
 
+(* ------------------------------------------------- batched SPSC transfer *)
+
+(* The batch knob must never change semantics, only throughput: output
+   equals the sequential reference across the (capacity × batch) grid,
+   including batch > capacity (chunks transfer in partial slices) and
+   batch > items (one short chunk). *)
+
+let test_run_batch_matrix () =
+  let inputs = List.init 333 Fun.id in
+  let expected = Skel_mc.run_seq int_chain inputs in
+  List.iter
+    (fun capacity ->
+      List.iter
+        (fun batch ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "capacity=%d batch=%d" capacity batch)
+            expected
+            (Skel_mc.run ~capacity ~batch int_chain inputs))
+        [ 1; 8; 64; 512 ])
+    [ 1; 2; 8 ]
+
+let test_run_batch_exceeds_items () =
+  let inputs = List.init 5 Fun.id in
+  Alcotest.(check (list int)) "batch > items" (Skel_mc.run_seq int_chain inputs)
+    (Skel_mc.run ~capacity:4 ~batch:64 int_chain inputs)
+
+let test_run_invalid_batch () =
+  Alcotest.check_raises "batch 0" (Invalid_argument "Skel_mc.run: batch must be positive")
+    (fun () -> ignore (Skel_mc.run ~batch:0 int_chain [ 1 ]));
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Skel_mc.run: capacity must be positive")
+    (fun () -> ignore (Skel_mc.run ~capacity:0 int_chain [ 1 ]))
+
+let test_run_fold_matches_run () =
+  let items = 500 in
+  let inputs = List.init items Fun.id in
+  let expected = Skel_mc.run int_chain inputs in
+  let collect acc x = x :: acc in
+  Alcotest.(check (list int)) "run_fold = run"
+    expected
+    (List.rev (Skel_mc.run_fold ~capacity:8 ~batch:16 int_chain ~items ~gen:Fun.id ~init:[] ~f:collect));
+  Alcotest.(check (list int)) "run_chan_fold = run"
+    expected
+    (List.rev (Skel_mc.run_chan_fold int_chain ~items ~gen:Fun.id ~init:[] ~f:collect));
+  Alcotest.(check int) "run_fold of zero items" 0
+    (Skel_mc.run_fold int_chain ~items:0 ~gen:Fun.id ~init:0 ~f:( + ))
+
 (* ----------------------------------------------------------------- Farm *)
 
 let test_farm_matches_map =
@@ -124,6 +170,45 @@ let test_farm_invalid_workers () =
 let test_farm_as_pipeline_stage () =
   Alcotest.(check (list int)) "pipeline_stage alias" [ 1; 8; 27 ]
     (Farm_mc.pipeline_stage ~workers:2 (fun x -> x * x * x) [ 1; 2; 3 ])
+
+(* ------------------------------------------------------- streaming farm *)
+
+let test_map_stream_matches_map =
+  qtest "map_stream = List.map over workers x batch x capacity"
+    QCheck2.Gen.(
+      quad (list_size (int_range 0 120) int) (int_range 1 5) (int_range 1 9) (int_range 1 5))
+    (fun (xs, workers, batch, capacity) ->
+      Farm_mc.map_stream ~capacity ~batch ~workers (fun x -> (x * 13) mod 997) xs
+      = List.map (fun x -> (x * 13) mod 997) xs)
+
+let test_map_stream_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Farm_mc.map_stream ~workers:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "workers=1 computes inline" [ 2; 4 ]
+    (Farm_mc.map_stream ~workers:1 (fun x -> x * 2) [ 1; 2 ])
+
+let test_map_stream_preserves_order () =
+  (* Workers finish chunks at different speeds; the collector must still
+     reassemble in deal order. Reversed input makes a reorder visible. *)
+  let inputs = List.init 200 (fun i -> 199 - i) in
+  Alcotest.(check (list int)) "order preserved under contention"
+    (List.map (fun x -> x + 1) inputs)
+    (Farm_mc.map_stream ~capacity:2 ~batch:4 ~workers:3 (fun x -> x + 1) inputs)
+
+let test_map_stream_exception_propagates () =
+  let boom = Failure "stream-boom" in
+  Alcotest.check_raises "worker exception re-raised" boom (fun () ->
+      ignore
+        (Farm_mc.map_stream ~capacity:2 ~batch:8 ~workers:3
+           (fun x -> if x = 150 then raise boom else x)
+           (List.init 400 Fun.id)))
+
+let test_map_stream_invalid_args () =
+  Alcotest.check_raises "workers 0" (Invalid_argument "Farm_mc: workers must be positive")
+    (fun () -> ignore (Farm_mc.map_stream ~workers:0 Fun.id [ 1 ]));
+  Alcotest.check_raises "batch 0" (Invalid_argument "Farm_mc: batch must be positive") (fun () ->
+      ignore (Farm_mc.map_stream ~batch:0 ~workers:2 Fun.id [ 1 ]));
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Farm_mc: capacity must be positive")
+    (fun () -> ignore (Farm_mc.map_stream ~capacity:0 ~workers:2 Fun.id [ 1 ]))
 
 (* ------------------------------------------------- failure paths (Domains) *)
 
@@ -187,6 +272,47 @@ let test_pipeline_last_stage_exception_propagates () =
   Alcotest.check_raises "last stage failure re-raised" boom (fun () ->
       ignore (Skel_mc.run ~capacity:1 chain (List.init 100 Fun.id)))
 
+(* The same failure modes with whole batches in flight: when a stage dies
+   mid-chunk, its neighbours are parked on full/empty rings holding
+   partially transferred chunks, and only the close-on-failure relay can
+   wake them. The original exception must win over the [Spsc.Closed] the
+   relaying neighbours raise — and nothing may deadlock or double-close. *)
+
+let test_batched_mid_chain_exception () =
+  let boom = Failure "batched-boom" in
+  let open Pipe in
+  let chain =
+    (fun x -> x + 1) @> (fun x -> if x = 100 then raise boom else x) @> last (fun x -> x * 2)
+  in
+  List.iter
+    (fun (capacity, batch) ->
+      Alcotest.check_raises (Printf.sprintf "capacity=%d batch=%d" capacity batch) boom
+        (fun () -> ignore (Skel_mc.run ~capacity ~batch chain (List.init 2000 Fun.id))))
+    [ (1, 8); (2, 64); (8, 16); (4, 512) ]
+
+let test_batched_first_stage_exception () =
+  let boom = Failure "batched-head-boom" in
+  let open Pipe in
+  let chain = (fun x -> if x = 10 then raise boom else x) @> last (fun x -> x + 1) in
+  Alcotest.check_raises "first stage, batch 32" boom (fun () ->
+      ignore (Skel_mc.run ~capacity:2 ~batch:32 chain (List.init 1000 Fun.id)))
+
+let test_batched_last_stage_exception () =
+  let boom = Failure "batched-tail-boom" in
+  let open Pipe in
+  let chain =
+    (fun x -> x + 1) @> (fun x -> x * 3) @> last (fun x -> if x > 300 then raise boom else x)
+  in
+  Alcotest.check_raises "last stage, batch 32" boom (fun () ->
+      ignore (Skel_mc.run ~capacity:2 ~batch:32 chain (List.init 1000 Fun.id)))
+
+let test_run_fold_exception_propagates () =
+  let boom = Failure "fold-boom" in
+  let open Pipe in
+  let chain = (fun x -> if x = 500 then raise boom else x) @> last (fun x -> x + 1) in
+  Alcotest.check_raises "run_fold failure re-raised" boom (fun () ->
+      ignore (Skel_mc.run_fold ~capacity:4 ~batch:16 chain ~items:2000 ~gen:Fun.id ~init:0 ~f:( + )))
+
 (* --------------------------------------------------- cross-backend checks *)
 
 let test_image_chain_backends_agree () =
@@ -219,6 +345,10 @@ let () =
           Alcotest.test_case "single-stage pipe" `Quick test_single_stage_pipe;
           Alcotest.test_case "empty on every backend" `Quick test_empty_every_backend;
           Alcotest.test_case "one group, capacity 1" `Quick test_one_group_capacity_one_order;
+          Alcotest.test_case "batch matrix" `Quick test_run_batch_matrix;
+          Alcotest.test_case "batch exceeds items" `Quick test_run_batch_exceeds_items;
+          Alcotest.test_case "invalid batch/capacity" `Quick test_run_invalid_batch;
+          Alcotest.test_case "run_fold matches run" `Quick test_run_fold_matches_run;
         ] );
       ( "farm",
         [
@@ -229,6 +359,11 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_farm_exception_propagates;
           Alcotest.test_case "invalid workers" `Quick test_farm_invalid_workers;
           Alcotest.test_case "pipeline stage alias" `Quick test_farm_as_pipeline_stage;
+          test_map_stream_matches_map;
+          Alcotest.test_case "map_stream empty & single" `Quick test_map_stream_empty_and_single;
+          Alcotest.test_case "map_stream preserves order" `Quick test_map_stream_preserves_order;
+          Alcotest.test_case "map_stream exception" `Quick test_map_stream_exception_propagates;
+          Alcotest.test_case "map_stream invalid args" `Quick test_map_stream_invalid_args;
         ] );
       ( "failure-paths",
         [
@@ -238,6 +373,10 @@ let () =
           Alcotest.test_case "mid-chain stage exception" `Quick test_pipeline_stage_exception_propagates;
           Alcotest.test_case "first-stage exception" `Quick test_pipeline_first_stage_exception_propagates;
           Alcotest.test_case "last-stage exception" `Quick test_pipeline_last_stage_exception_propagates;
+          Alcotest.test_case "batched mid-chain exception" `Quick test_batched_mid_chain_exception;
+          Alcotest.test_case "batched first-stage exception" `Quick test_batched_first_stage_exception;
+          Alcotest.test_case "batched last-stage exception" `Quick test_batched_last_stage_exception;
+          Alcotest.test_case "run_fold exception" `Quick test_run_fold_exception_propagates;
         ] );
       ( "cross-backend",
         [ Alcotest.test_case "image chain agreement" `Slow test_image_chain_backends_agree ] );

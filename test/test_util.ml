@@ -733,6 +733,280 @@ let test_prop_ring_matches_list_model =
       Ring.iter r (fun x -> got := x :: !got);
       List.rev !got = !model && Ring.length r = List.length !model)
 
+(* ----------------------------------------------------------------- Spsc *)
+
+module Spsc = Aspipe_util.Spsc
+
+let test_spsc_capacity_rounding () =
+  List.iter
+    (fun (req, want) ->
+      Alcotest.(check int)
+        (Printf.sprintf "capacity %d rounds to %d" req want)
+        want
+        (Spsc.capacity (Spsc.create ~capacity:req)))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (64, 64); (100, 128) ];
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Spsc.create: capacity must be positive")
+    (fun () -> ignore (Spsc.create ~capacity:0))
+
+let test_spsc_fifo_single_domain () =
+  let q = Spsc.create ~capacity:4 in
+  Alcotest.(check int) "fresh is empty" 0 (Spsc.length q);
+  Alcotest.(check (option int)) "try_pop empty" None (Spsc.try_pop q);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "push with room" true (Spsc.try_push q i)
+  done;
+  Alcotest.(check bool) "full rejects" false (Spsc.try_push q 5);
+  Alcotest.(check int) "length at capacity" 4 (Spsc.length q);
+  for i = 1 to 4 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Spsc.try_pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Spsc.try_pop q);
+  (* Wrap-around: the monotone indices must address slots correctly long
+     past the physical end of the buffer. *)
+  for i = 1 to 100 do
+    Spsc.push q i;
+    Alcotest.(check (option int)) "wraps" (Some i) (Spsc.pop q)
+  done
+
+let test_spsc_close_semantics () =
+  let q = Spsc.create ~capacity:8 in
+  Spsc.push q 1;
+  Spsc.push q 2;
+  Alcotest.(check bool) "open" false (Spsc.is_closed q);
+  Spsc.close q;
+  Spsc.close q;
+  (* idempotent *)
+  Alcotest.(check bool) "closed" true (Spsc.is_closed q);
+  Alcotest.check_raises "push after close" Spsc.Closed (fun () -> Spsc.push q 3);
+  Alcotest.check_raises "try_push after close" Spsc.Closed (fun () ->
+      ignore (Spsc.try_push q 3));
+  Alcotest.(check (option int)) "queued items drain" (Some 1) (Spsc.pop q);
+  Alcotest.(check (option int)) "in order" (Some 2) (Spsc.pop q);
+  Alcotest.(check (option int)) "then exhausted" None (Spsc.pop q);
+  Alcotest.(check (option int)) "stays exhausted" None (Spsc.pop q)
+
+let test_spsc_chunk_roundtrip () =
+  let q = Spsc.create ~capacity:8 in
+  let src = Array.init 6 (fun i -> Some (i * 10)) in
+  Spsc.push_chunk q src ~pos:0 ~len:6;
+  Alcotest.(check int) "chunk in" 6 (Spsc.length q);
+  let dst = Array.make 8 None in
+  let n = Spsc.pop_chunk q dst ~pos:1 ~len:4 in
+  Alcotest.(check int) "partial chunk out" 4 n;
+  for k = 0 to 3 do
+    Alcotest.(check (option int)) "values at pos offset" (Some (k * 10)) dst.(1 + k)
+  done;
+  Alcotest.(check int) "rest of chunk" 2 (Spsc.pop_chunk q dst ~pos:0 ~len:8);
+  Spsc.close q;
+  Alcotest.(check int) "pop_chunk closed+drained" 0 (Spsc.pop_chunk q dst ~pos:0 ~len:8);
+  Alcotest.(check int) "pop_chunk len 0" 0 (Spsc.pop_chunk q dst ~pos:0 ~len:0);
+  Alcotest.check_raises "push_chunk after close" Spsc.Closed (fun () ->
+      Spsc.push_chunk q src ~pos:0 ~len:1);
+  Alcotest.check_raises "push_chunk bounds"
+    (Invalid_argument "Spsc.push_chunk: window out of bounds") (fun () ->
+      Spsc.push_chunk q src ~pos:4 ~len:4);
+  Alcotest.check_raises "pop_chunk bounds"
+    (Invalid_argument "Spsc.pop_chunk: window out of bounds") (fun () ->
+      ignore (Spsc.pop_chunk q dst ~pos:7 ~len:2))
+
+(* Model check: a ring driven by a random script of non-blocking operations
+   (try_push / try_pop / space-clipped chunk push / chunk pop / close)
+   behaves exactly like a FIFO list with a closed flag, across every
+   capacity and past wrap-around. Blocking variants are exercised by the
+   two-domain tests below; here every call is chosen so it cannot park. *)
+let test_prop_spsc_matches_list_model =
+  let open QCheck2.Gen in
+  let op = pair (int_range 0 4) (int_range 1 5) in
+  let script = pair (int_range 1 6) (list_size (int_range 0 300) op) in
+  qtest "Spsc matches a list model" script (fun (req_cap, ops) ->
+      let q = Spsc.create ~capacity:req_cap in
+      let cap = Spsc.capacity q in
+      let model = ref [] in
+      (* head of the list = oldest item *)
+      let closed = ref false in
+      let counter = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (op, k) ->
+          if !ok then
+            match op with
+            | 0 ->
+                incr counter;
+                let x = !counter in
+                if !closed then
+                  check
+                    (match Spsc.try_push q x with
+                    | exception Spsc.Closed -> true
+                    | _ -> false)
+                else if List.length !model < cap then begin
+                  check (Spsc.try_push q x);
+                  model := !model @ [ x ]
+                end
+                else check (not (Spsc.try_push q x))
+            | 1 -> (
+                match !model with
+                | [] -> check (Spsc.try_pop q = None)
+                | x :: rest ->
+                    model := rest;
+                    check (Spsc.try_pop q = Some x))
+            | 2 ->
+                let free = cap - List.length !model in
+                let n = min k free in
+                if (not !closed) && n > 0 then begin
+                  let xs = List.init n (fun i -> !counter + 1 + i) in
+                  counter := !counter + n;
+                  Spsc.push_chunk q (Array.of_list (List.map Option.some xs)) ~pos:0 ~len:n;
+                  model := !model @ xs
+                end
+            | 3 ->
+                let avail = List.length !model in
+                if avail > 0 then begin
+                  let dst = Array.make k None in
+                  let n = Spsc.pop_chunk q dst ~pos:0 ~len:k in
+                  (* The count may be partial — a stale tail snapshot
+                     under-reports availability — but never zero while items
+                     remain, and never more than requested or present. *)
+                  check (n >= 1 && n <= min k avail);
+                  let rec consume i remaining =
+                    if i >= n then remaining
+                    else
+                      match remaining with
+                      | x :: rest ->
+                          check (dst.(i) = Some x);
+                          consume (i + 1) rest
+                      | [] ->
+                          check false;
+                          []
+                  in
+                  model := consume 0 !model
+                end
+                else if !closed then
+                  check (Spsc.pop_chunk q (Array.make k None) ~pos:0 ~len:k = 0)
+                else check (Spsc.try_pop q = None)
+            | _ ->
+                Spsc.close q;
+                closed := true)
+        ops;
+      check (Spsc.length q = List.length !model);
+      !ok)
+
+(* -------------------------------------------- Spsc under two real domains *)
+
+(* Producer and consumer on separate domains, across the capacity × batch
+   grid the backend actually uses: every item must arrive exactly once, in
+   order, and the producer's close-after-last-push must leave nothing
+   stranded. A lost item, reorder or lost wake-up hangs or fails the case. *)
+let spsc_stress ~capacity ~batch ~items () =
+  let q = Spsc.create ~capacity in
+  let producer =
+    Domain.spawn (fun () ->
+        if batch = 1 then
+          for i = 0 to items - 1 do
+            Spsc.push q i
+          done
+        else begin
+          let buf = Array.make batch None in
+          let i = ref 0 in
+          while !i < items do
+            let n = min batch (items - !i) in
+            for k = 0 to n - 1 do
+              buf.(k) <- Some (!i + k)
+            done;
+            Spsc.push_chunk q buf ~pos:0 ~len:n;
+            i := !i + n
+          done
+        end;
+        Spsc.close q)
+  in
+  let next = ref 0 in
+  let buf = Array.make batch None in
+  let running = ref true in
+  while !running do
+    let n = Spsc.pop_chunk q buf ~pos:0 ~len:batch in
+    if n = 0 then running := false
+    else begin
+      for k = 0 to n - 1 do
+        (match buf.(k) with
+        | Some x when x = !next + k -> ()
+        | Some x -> Alcotest.failf "out of order: got %d, expected %d" x (!next + k)
+        | None -> Alcotest.fail "hole in popped chunk");
+        buf.(k) <- None
+      done;
+      next := !next + n
+    end
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "every item arrived exactly once, in order" items !next
+
+let spsc_stress_cases =
+  List.concat_map
+    (fun capacity ->
+      List.map
+        (fun batch ->
+          Alcotest.test_case
+            (Printf.sprintf "stress capacity=%d batch=%d" capacity batch)
+            `Quick
+            (spsc_stress ~capacity ~batch ~items:20_000))
+        [ 1; 8; 64 ])
+    [ 1; 2; 64 ]
+
+(* The close protocol under real blocking, mirroring the Chan regressions:
+   a party parked on a full (producer) or empty (consumer) ring must be
+   woken by a [close] from another domain with the typed outcome — never
+   left parked. A lost wake-up hangs the suite here instead of passing. *)
+
+let test_spsc_close_wakes_blocked_producer () =
+  let q = Spsc.create ~capacity:1 in
+  Spsc.push q 0;
+  let producer =
+    Domain.spawn (fun () ->
+        match Spsc.push q 1 with () -> `Pushed | exception Spsc.Closed -> `Raised_closed)
+  in
+  Unix.sleepf 0.05;
+  Spsc.close q;
+  Alcotest.(check bool) "blocked producer raises Closed" true (Domain.join producer = `Raised_closed)
+
+let test_spsc_close_wakes_blocked_consumer () =
+  let q : int Spsc.t = Spsc.create ~capacity:4 in
+  let consumer = Domain.spawn (fun () -> Spsc.pop q) in
+  Unix.sleepf 0.05;
+  Spsc.close q;
+  Alcotest.(check (option int)) "blocked consumer gets None" None (Domain.join consumer)
+
+let test_spsc_close_wakes_blocked_chunk_consumer () =
+  let q : int Spsc.t = Spsc.create ~capacity:4 in
+  let consumer =
+    Domain.spawn (fun () -> Spsc.pop_chunk q (Array.make 4 None) ~pos:0 ~len:4)
+  in
+  Unix.sleepf 0.05;
+  Spsc.close q;
+  Alcotest.(check int) "blocked chunk consumer gets 0" 0 (Domain.join consumer)
+
+let test_spsc_producer_close_drains () =
+  (* close-after-last-push from the producer domain: the consumer must see
+     every item even if it was parked when the close landed. *)
+  let q = Spsc.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        for i = 1 to 100 do
+          Spsc.push q i
+        done;
+        Spsc.close q)
+  in
+  let got = ref 0 in
+  let running = ref true in
+  while !running do
+    match Spsc.pop q with
+    | None -> running := false
+    | Some x ->
+        if x <> !got + 1 then Alcotest.failf "drain order: got %d after %d" x !got;
+        got := x
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "all items drained past the close" 100 !got
+
 let () =
   Alcotest.run "aspipe_util"
     [
@@ -820,6 +1094,25 @@ let () =
           Alcotest.test_case "push front" `Quick test_ring_push_front;
           test_prop_ring_matches_list_model;
         ] );
+      ( "spsc",
+        [
+          Alcotest.test_case "capacity rounding" `Quick test_spsc_capacity_rounding;
+          Alcotest.test_case "fifo single domain" `Quick test_spsc_fifo_single_domain;
+          Alcotest.test_case "close semantics" `Quick test_spsc_close_semantics;
+          Alcotest.test_case "chunk roundtrip" `Quick test_spsc_chunk_roundtrip;
+          test_prop_spsc_matches_list_model;
+        ] );
+      ( "spsc-domains",
+        spsc_stress_cases
+        @ [
+            Alcotest.test_case "close wakes blocked producer" `Quick
+              test_spsc_close_wakes_blocked_producer;
+            Alcotest.test_case "close wakes blocked consumer" `Quick
+              test_spsc_close_wakes_blocked_consumer;
+            Alcotest.test_case "close wakes blocked chunk consumer" `Quick
+              test_spsc_close_wakes_blocked_chunk_consumer;
+            Alcotest.test_case "producer close drains" `Quick test_spsc_producer_close_drains;
+          ] );
       ( "properties",
         [
           test_prop_mean_matches_fold;

@@ -18,7 +18,9 @@ let wall_clock_idents =
 (* The campaign runner times real work on real domains, the profiler
    (lib/prof/) exists to record real durations, and the _mc
    direct-execution engines exist to measure real speedup; everything else
-   takes time from the DES engine's virtual clock. *)
+   takes time from the DES engine's virtual clock. skel_mc is on the list
+   for Monotonic_clock.now alone (run_timed durations) — it no longer
+   touches the wall clock proper. *)
 let wall_clock_allowed path =
   starts_with ~prefix:"lib/runner/" path
   || starts_with ~prefix:"lib/prof/" path
@@ -74,8 +76,15 @@ let control_events =
    state anywhere in lib/ is therefore shared across domains. *)
 let shared_state_scope path = starts_with ~prefix:"lib/" path
 
+(* Channels are cross-domain by construction: a structure-level Chan or
+   Spsc ring is shared mutable state with a single-producer/single-consumer
+   ownership contract no module-level binding can honour, so both creation
+   heads are watched alongside the classic containers. *)
 let shared_state_heads =
-  [ "ref"; "Stdlib.ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create" ]
+  [
+    "ref"; "Stdlib.ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create";
+    "Chan.create"; "Aspipe_skel.Chan.create"; "Spsc.create"; "Aspipe_util.Spsc.create";
+  ]
 
 (* -------------------------------------------------- R6 banned-construct *)
 

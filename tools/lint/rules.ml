@@ -59,8 +59,9 @@ let all =
       slug = "shared-state-ok";
       summary =
         "structure-level ref/Hashtbl.create/Buffer.create/Queue.create \
-         bindings in lib/ are state shared across campaign worker domains; \
-         they must be Atomic.t or Domain.DLS";
+         /Chan.create/Spsc.create bindings in lib/ are state shared across \
+         campaign worker domains; they must be Atomic.t, Domain.DLS, or \
+         created per run";
     };
     {
       id = "R6";
