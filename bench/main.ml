@@ -42,7 +42,16 @@
                                               digest-checked, gated, written
                                               to --mc-out, default
                                               BENCH_8.json)
-          ... --mc --mc-items N              (override the items axis) *)
+          ... --mc --mc-items N              (override the items axis)
+          ... --search [--quick]             (mapping-search sweep: old
+                                              materializing exhaustive vs
+                                              incremental Gray walk vs
+                                              branch-and-bound vs the
+                                              chunked parallel backend,
+                                              over stages x processors;
+                                              result-checked, gated,
+                                              written to --search-out,
+                                              default BENCH_9.json) *)
 
 open Bechamel
 open Toolkit
@@ -615,6 +624,215 @@ let run_mc ~quick ~out ~items_override =
     exit 1
   end
 
+(* --- mapping-search bench (--search) ----------------------------------- *)
+
+(* Old-vs-new decision cost over a stages x processors sweep. Four backends
+   per point, all required to return the identical (mapping, score):
+
+   - old: the historical materializing path — [Mapping.enumerate] into a
+     list, full [Analytic.throughput] per candidate ([Search.exhaustive_ref]);
+   - gray: zero-allocation Gray-order walk on [Analytic.Incr], every
+     candidate still scored — isolates the incremental-evaluator win;
+   - b&b: branch-and-bound + symmetry canonicalization
+     ([Search.exhaustive_spec]) — the production serial path; its "scored"
+     column shows how few leaves survive pruning;
+   - par: the chunked parallel backend over the domain pool.
+
+   The gate is on time-to-decision: b&b must be no slower than old at every
+   point (1.25x tolerance for timer noise on sub-ms points) and >= 10x
+   faster at the largest space. *)
+
+let uniform_spec ~stages ~processors =
+  { (synthetic_spec ~stages ~processors) with Costspec.node_rates = Array.make processors 10.0 }
+
+(* Seconds per run: warm-up, then best-of-3 of an n-run loop sized so one
+   measurement lasts >= ~20ms (n = 1 for the slow backends). *)
+let search_measure f =
+  ignore (f ());
+  let t0 = wall () in
+  let result = ref (f ()) in
+  let once = wall () -. t0 in
+  let n = max 1 (min 1000 (int_of_float (0.02 /. Float.max once 1e-9))) in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = wall () in
+    for _ = 1 to n do
+      result := f ()
+    done;
+    let dt = (wall () -. t0) /. Float.of_int n in
+    if dt < !best then best := dt
+  done;
+  (!result, !best)
+
+type search_point = {
+  q_stages : int;
+  q_processors : int;
+  q_space : int;
+  q_uniform : bool;
+  q_old_s : float;
+  q_gray_s : float;
+  q_bb_s : float;
+  q_bb_scored : int;
+  q_par_s : float;
+}
+
+let run_search ~quick ~out ~jobs =
+  let cores = Domain.recommended_domain_count () in
+  let shapes =
+    (* (stages, processors, uniform node rates). Spaces: 256, 4k, 65k (x2),
+       262k, plus 46k and 1M in the full run. *)
+    if quick then [ (4, 4, false); (6, 4, false); (8, 4, false); (8, 4, true); (9, 4, false) ]
+    else
+      [
+        (4, 4, false); (6, 4, false); (6, 6, false); (8, 4, false); (8, 4, true);
+        (9, 4, false); (10, 4, false);
+      ]
+  in
+  Printf.printf "######## Mapping-search bench (old vs incremental) ########\n";
+  Printf.printf "cores: %d | pool workers: %d\n" cores jobs;
+  let pool = Aspipe_runner.Pool.create ~workers:jobs () in
+  let par = { Search.pmap = (fun f xs -> Aspipe_runner.Pool.map_list pool f xs) } in
+  let points =
+    List.map
+      (fun (stages, processors, uniform) ->
+        let spec =
+          if uniform then uniform_spec ~stages ~processors
+          else synthetic_spec ~stages ~processors
+        in
+        let space = Option.get (Mapping.space_size ~stages ~processors) in
+        let evaluator m = Analytic.throughput spec m in
+        let old_r, old_s =
+          search_measure (fun () -> Search.exhaustive_ref ~stages ~processors evaluator)
+        in
+        let gray_r, gray_s =
+          search_measure (fun () -> Search.exhaustive_spec ~prune:false ~canonical:false spec)
+        in
+        let bb_r, bb_s = search_measure (fun () -> Search.exhaustive_spec spec) in
+        let par_r, par_s = search_measure (fun () -> Search.exhaustive_par ~par spec) in
+        (* The speedup numbers are only worth recording if every backend
+           decided identically. *)
+        List.iter
+          (fun (name, (r : Search.result)) ->
+            if
+              (not (Mapping.equal r.Search.mapping old_r.Search.mapping))
+              || Int64.bits_of_float r.Search.score
+                 <> Int64.bits_of_float old_r.Search.score
+            then begin
+              Printf.eprintf "bench --search: %s result mismatch at Ns=%d Np=%d\n" name stages
+                processors;
+              exit 2
+            end)
+          [ ("gray", gray_r); ("b&b", bb_r); ("par", par_r) ];
+        Printf.printf
+          "Ns=%-2d Np=%-2d space=%-8d%s old %8.2f ms | gray %8.2f ms (%6.1fx) | b&b %8.2f ms \
+           (%6.1fx, %d scored) | par %8.2f ms\n"
+          stages processors space
+          (if uniform then " uniform" else "        ")
+          (old_s *. 1e3) (gray_s *. 1e3) (old_s /. gray_s) (bb_s *. 1e3) (old_s /. bb_s)
+          bb_r.Search.evaluated (par_s *. 1e3);
+        {
+          q_stages = stages;
+          q_processors = processors;
+          q_space = space;
+          q_uniform = uniform;
+          q_old_s = old_s;
+          q_gray_s = gray_s;
+          q_bb_s = bb_s;
+          q_bb_scored = bb_r.Search.evaluated;
+          q_par_s = par_s;
+        })
+      shapes
+  in
+  Aspipe_runner.Pool.shutdown pool;
+  let tolerance = 1.25 in
+  let slow_points =
+    List.filter (fun p -> p.q_bb_s > p.q_old_s *. tolerance) points
+  in
+  let largest = List.fold_left (fun acc p -> if p.q_space > acc.q_space then p else acc)
+      (List.hd points) (List.tl points)
+  in
+  let largest_ratio = largest.q_old_s /. largest.q_bb_s in
+  let required = 10.0 in
+  let pass = slow_points = [] && largest_ratio >= required in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "aspipe-bench/1");
+        ("quick", Json.Bool quick);
+        ("ocaml", Json.String Sys.ocaml_version);
+        ("cores", Json.Int cores);
+        ("pool_workers", Json.Int jobs);
+        ( "method",
+          Json.String
+            "mapping-search sweep: per shape, best-of-3 timed runs (looped to >= 20ms for \
+             sub-ms backends); old = materialized enumerate + full evaluator, gray = \
+             incremental Gray-order walk (all candidates scored), bb = branch-and-bound + \
+             symmetry canonicalization, par = chunked parallel backend; all backends \
+             result-checked identical" );
+        ( "search",
+          Json.Obj
+            [
+              ( "sweep",
+                Json.List
+                  (List.map
+                     (fun p ->
+                       Json.Obj
+                         [
+                           ("stages", Json.Int p.q_stages);
+                           ("processors", Json.Int p.q_processors);
+                           ("space", Json.Int p.q_space);
+                           ("uniform_rates", Json.Bool p.q_uniform);
+                           ("old_ms", Json.Float (p.q_old_s *. 1e3));
+                           ("gray_ms", Json.Float (p.q_gray_s *. 1e3));
+                           ("bb_ms", Json.Float (p.q_bb_s *. 1e3));
+                           ("bb_scored", Json.Int p.q_bb_scored);
+                           ("par_ms", Json.Float (p.q_par_s *. 1e3));
+                           ( "old_evals_per_sec",
+                             Json.Float (Float.of_int p.q_space /. p.q_old_s) );
+                           ( "gray_evals_per_sec",
+                             Json.Float (Float.of_int p.q_space /. p.q_gray_s) );
+                           ( "bb_decisions_per_sec_equiv",
+                             Json.Float (Float.of_int p.q_space /. p.q_bb_s) );
+                           ("speedup_gray_vs_old", Json.Float (p.q_old_s /. p.q_gray_s));
+                           ("speedup_bb_vs_old", Json.Float (p.q_old_s /. p.q_bb_s));
+                         ])
+                     points) );
+              ( "gate",
+                Json.Obj
+                  [
+                    ("tolerance", Json.Float tolerance);
+                    ("largest_space", Json.Int largest.q_space);
+                    ("largest_speedup_bb_vs_old", Json.Float largest_ratio);
+                    ("required_largest_speedup", Json.Float required);
+                    ("slow_points", Json.Int (List.length slow_points));
+                    ("pass", Json.Bool pass);
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if pass then
+    Printf.printf "search gate: %.1fx at the largest space (%d), new <= old everywhere — ok\n"
+      largest_ratio largest.q_space
+  else begin
+    List.iter
+      (fun p ->
+        Printf.eprintf
+          "search gate: REGRESSION — b&b %.2f ms slower than old %.2f ms at Ns=%d Np=%d\n"
+          (p.q_bb_s *. 1e3) (p.q_old_s *. 1e3) p.q_stages p.q_processors)
+      slow_points;
+    if largest_ratio < required then
+      Printf.eprintf
+        "search gate: REGRESSION — only %.1fx over old at the largest space (%d), %.0fx \
+         required\n"
+        largest_ratio largest.q_space required;
+    exit 1
+  end
+
 let run_perf ~quick ~out ~baseline_file =
   (* Warm-ups mirror the measured shapes at reduced size. *)
   ignore (des_microbench ~timers:64 ~events:10_000);
@@ -779,6 +997,11 @@ let () =
               exit 2)
     in
     run_mc ~quick ~out ~items_override;
+    exit 0
+  end;
+  if List.mem "--search" args then begin
+    let out = Option.value (flag_value "--search-out") ~default:"BENCH_9.json" in
+    run_search ~quick ~out ~jobs;
     exit 0
   end;
   (match Aspipe_runner.Campaign.run ~jobs ~oversubscribe ?cache_dir ?only ~quick () with

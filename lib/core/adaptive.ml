@@ -26,6 +26,7 @@ type config = {
   fix_first_on : int option;
   initial_resource_reading : bool;
   failover : Policy.failover;
+  exhaustive_limit : int;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     fix_first_on = None;
     initial_resource_reading = true;
     failover = Policy.default_failover;
+    exhaustive_limit = Search.default_exhaustive_limit;
   }
 
 type report = {
@@ -118,8 +120,10 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
   let initial_predictor = Predictor.make ~kind:config.evaluator initial_spec in
   let initial_search =
     match config.fix_first_on with
-    | None -> Predictor.choose initial_predictor
-    | Some p -> Predictor.choose ~fix_first_on:p initial_predictor
+    | None -> Predictor.choose ~exhaustive_limit:config.exhaustive_limit initial_predictor
+    | Some p ->
+        Predictor.choose ~fix_first_on:p ~exhaustive_limit:config.exhaustive_limit
+          initial_predictor
   in
   let initial_mapping = initial_search.Search.mapping in
   Log.info (fun m ->
@@ -161,8 +165,10 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
       let predictor = Predictor.make ~kind:config.evaluator (belief_spec ()) in
       let result =
         match config.fix_first_on with
-        | None -> Predictor.choose predictor
-        | Some p -> Predictor.choose ~fix_first_on:p predictor
+        | None -> Predictor.choose ~exhaustive_limit:config.exhaustive_limit predictor
+        | Some p ->
+            Predictor.choose ~fix_first_on:p ~exhaustive_limit:config.exhaustive_limit
+              predictor
       in
       let target = Mapping.to_array result.Search.mapping in
       if target <> current then begin
@@ -217,8 +223,11 @@ let run ?(config = default_config) ?instrument ~scenario ~seed () =
           choose_best =
             (fun () ->
               match config.fix_first_on with
-              | None -> Predictor.choose predictor
-              | Some p -> Predictor.choose ~fix_first_on:p predictor);
+              | None ->
+                  Predictor.choose ~exhaustive_limit:config.exhaustive_limit predictor
+              | Some p ->
+                  Predictor.choose ~fix_first_on:p
+                    ~exhaustive_limit:config.exhaustive_limit predictor);
           serving = None;
         }
       in

@@ -40,6 +40,10 @@ type config = {
           heartbeats), re-map the orphaned stages to survivors and replay
           their checkpointed items — checked at each evaluation epoch,
           before the performance policy *)
+  exhaustive_limit : int;
+      (** largest candidate space the predictor searches exhaustively before
+          falling back to greedy + hill-climb (default
+          {!Aspipe_model.Search.default_exhaustive_limit}) *)
 }
 
 val default_config : config

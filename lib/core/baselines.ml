@@ -85,9 +85,9 @@ let oracle_static ?(limit = 4096) ?fix_first_on ~scenario ~seed () =
   let processors = dims scenario ~seed in
   let stages = Scenario.stage_count scenario in
   let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
-  let space = Float.of_int processors ** Float.of_int free in
-  if space > Float.of_int limit then
-    invalid_arg "Baselines.oracle_static: assignment space too large";
+  (match Mapping.space_within ~stages:free ~processors ~cap:limit with
+  | Some _ -> ()
+  | None -> invalid_arg "Baselines.oracle_static: assignment space too large");
   let candidates = Mapping.enumerate ?fix_first_on ~stages ~processors () in
   let results =
     List.map

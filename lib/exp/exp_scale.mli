@@ -23,7 +23,9 @@ type e6_row = {
   stages : int;
   processors : int;
   space : int;  (** candidate mappings for exhaustive search *)
-  exhaustive_ms : float;
+  exhaustive_ms : float;  (** full-evaluator walk over the materialized list *)
+  incr_ms : float;  (** incremental branch-and-bound ({!Aspipe_model.Search.exhaustive_spec}) *)
+  incr_scored : int;  (** leaves actually scored after pruning/canonicalization *)
   auto_ms : float;
   auto_evaluations : int;
   ctmc_states : int;

@@ -49,6 +49,184 @@ let bottleneck spec m =
 
 let throughput spec m = snd (bottleneck spec m)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation.
+
+   [Incr] mirrors [stations] in flat float arrays and re-scores a
+   single-stage move by touching only the affected entries. Every arithmetic
+   expression below replicates the corresponding [Costspec] /
+   [stage_cycle_time] formula operation-for-operation, in the same order, so
+   scores are bit-identical to [throughput] — the qcheck differential battery
+   in test_model pins this down. Two details carry the bit-identity:
+
+   - per-processor work is {e re-summed} over stages in increasing index
+     order after a move (never delta-adjusted), because float addition does
+     not commute with subtraction and [stations] folds in stage order;
+   - a processor hosting zero work is represented by an [infinity] station
+     rather than excluded; [min] over stations is insensitive to the extra
+     entries. *)
+module Incr = struct
+  type t = {
+    spec : Costspec.t;
+    ns : int;
+    np : int;
+    assign : int array; (* current stage -> processor map *)
+    counts : int array; (* stages hosted per processor: O(1) sharing *)
+    work : float array; (* per-processor work sums, stage-order folds *)
+    proc_rate : float array; (* processor capacity stations *)
+    cycle_rate : float array; (* stage-cycle stations *)
+    (* Tracked minimum over both station arrays, recomputed lazily when the
+       station holding it moves up. Station ids: [0, np) are processors,
+       [np, np + ns) are stage cycles. *)
+    mutable min_rate : float;
+    mutable min_station : int;
+    mutable min_valid : bool;
+  }
+
+  let note t station rate =
+    if t.min_valid then begin
+      if rate <= t.min_rate then begin
+        t.min_rate <- rate;
+        t.min_station <- station
+      end
+      else if station = t.min_station then t.min_valid <- false
+    end
+
+  let resum_work t p =
+    let s = ref 0.0 in
+    for i = 0 to t.ns - 1 do
+      if t.assign.(i) = p then s := !s +. t.spec.Costspec.stage_work.(i)
+    done;
+    t.work.(p) <- !s
+
+  let set_proc t p =
+    let rate =
+      if t.work.(p) <= 0.0 then infinity
+      else t.spec.Costspec.node_rates.(p) /. t.work.(p)
+    in
+    t.proc_rate.(p) <- rate;
+    note t p rate
+
+  (* [Costspec.service_rate], with the sharing count read from [counts]. *)
+  let service_rate t i =
+    let p = t.assign.(i) in
+    let sharing = Float.of_int t.counts.(p) in
+    let work = t.spec.Costspec.stage_work.(i) in
+    if work <= 0.0 then infinity else t.spec.Costspec.node_rates.(p) /. (work *. sharing)
+
+  (* [Costspec.move_rate] on the scratch assignment. *)
+  let move_rate t i =
+    let spec = t.spec in
+    let time =
+      if i = 0 then begin
+        let p = t.assign.(0) in
+        spec.Costspec.user_latency.(p) +. (spec.Costspec.item_bytes /. spec.Costspec.user_bandwidth.(p))
+      end
+      else if i = t.ns then begin
+        let p = t.assign.(t.ns - 1) in
+        spec.Costspec.user_latency.(p)
+        +. (spec.Costspec.output_bytes.(t.ns - 1) /. spec.Costspec.user_bandwidth.(p))
+      end
+      else begin
+        let src = t.assign.(i - 1) and dst = t.assign.(i) in
+        spec.Costspec.latency.(src).(dst)
+        +. (spec.Costspec.output_bytes.(i - 1) /. spec.Costspec.bandwidth.(src).(dst))
+      end
+    in
+    if time <= 0.0 then infinity else 1.0 /. time
+
+  (* [stage_cycle_time] + the cycle-station rate from [stations]. *)
+  let set_cycle t i =
+    let service =
+      let rate = service_rate t i in
+      if rate = infinity then 0.0 else 1.0 /. rate
+    in
+    let move_out =
+      let rate = move_rate t (i + 1) in
+      if rate = infinity then 0.0 else 1.0 /. rate
+    in
+    let cycle = service +. move_out in
+    let rate = if cycle <= 0.0 then infinity else 1.0 /. cycle in
+    t.cycle_rate.(i) <- rate;
+    note t (t.np + i) rate
+
+  let refresh_min t =
+    let best = ref infinity and station = ref 0 in
+    for p = 0 to t.np - 1 do
+      if t.proc_rate.(p) < !best then begin
+        best := t.proc_rate.(p);
+        station := p
+      end
+    done;
+    for i = 0 to t.ns - 1 do
+      if t.cycle_rate.(i) < !best then begin
+        best := t.cycle_rate.(i);
+        station := t.np + i
+      end
+    done;
+    t.min_rate <- !best;
+    t.min_station <- !station;
+    t.min_valid <- true
+
+  let create spec m =
+    let ns = Costspec.stages spec and np = Costspec.processors spec in
+    if Mapping.stages m <> ns then invalid_arg "Analytic.Incr.create: stage count mismatch";
+    let assign = Mapping.to_array m in
+    let t =
+      {
+        spec;
+        ns;
+        np;
+        assign;
+        counts = Array.make np 0;
+        work = Array.make np 0.0;
+        proc_rate = Array.make np infinity;
+        cycle_rate = Array.make ns infinity;
+        min_rate = infinity;
+        min_station = 0;
+        min_valid = false;
+      }
+    in
+    Array.iter (fun p -> t.counts.(p) <- t.counts.(p) + 1) assign;
+    for p = 0 to np - 1 do
+      resum_work t p;
+      set_proc t p
+    done;
+    for i = 0 to ns - 1 do
+      set_cycle t i
+    done;
+    t
+
+  let move t ~stage q =
+    if stage < 0 || stage >= t.ns then invalid_arg "Analytic.Incr.move: stage out of range";
+    if q < 0 || q >= t.np then invalid_arg "Analytic.Incr.move: processor out of range";
+    let p = t.assign.(stage) in
+    if p <> q then begin
+      t.assign.(stage) <- q;
+      t.counts.(p) <- t.counts.(p) - 1;
+      t.counts.(q) <- t.counts.(q) + 1;
+      resum_work t p;
+      resum_work t q;
+      set_proc t p;
+      set_proc t q;
+      (* Cycles whose service sharing or either move endpoint changed: every
+         stage still (or now) on [p] or [q], plus the predecessor of the moved
+         stage, whose output move re-targets. *)
+      for j = 0 to t.ns - 1 do
+        if t.assign.(j) = p || t.assign.(j) = q || j = stage - 1 then set_cycle t j
+      done
+    end
+
+  let score t =
+    if not t.min_valid then refresh_min t;
+    t.min_rate
+
+  let assignment t i = t.assign.(i)
+  let mapping t = Mapping.of_array ~processors:t.np t.assign
+  let stages t = t.ns
+  let processors t = t.np
+end
+
 let fill_latency spec m =
   let ns = Costspec.stages spec in
   let services =

@@ -34,3 +34,41 @@ val completion_time : Costspec.t -> Mapping.t -> items:int -> float
     [(items − 1)] bottleneck periods. *)
 
 val pp_bottleneck : Format.formatter -> bottleneck -> unit
+
+(** Incremental re-scoring for mapping search.
+
+    An [Incr.t] holds the station rates of one mapping in flat float arrays —
+    per-processor capacities and per-stage cycles — plus a tracked minimum,
+    and updates them under single-stage moves: a move re-derives only the two
+    affected processors' capacities and the touched stage cycles, with the
+    minimum recomputed lazily when the station holding it rises. Scores are
+    {e bit-identical} to {!throughput} on the same spec and assignment (the
+    arithmetic replicates [Costspec] formula-for-formula; per-processor work
+    is re-summed in stage order, never delta-adjusted), which is what lets
+    exhaustive search, hill-climbing, and branch-and-bound run on it without
+    changing any decision the full evaluator would make. *)
+module Incr : sig
+  type t
+
+  val create : Costspec.t -> Mapping.t -> t
+  (** O(Ns·Np) build of the station state for an initial assignment. *)
+
+  val move : t -> stage:int -> int -> unit
+  (** [move t ~stage q] re-assigns [stage] to processor [q] and updates the
+      affected stations — O(k) where [k] is the number of stages touching the
+      two processors involved. A no-op when [stage] is already on [q]. *)
+
+  val score : t -> float
+  (** Throughput of the current assignment; equals
+      [throughput spec (mapping t)] bit-for-bit. O(1) when the tracked
+      minimum is valid, O(Ns + Np) rescan otherwise. *)
+
+  val assignment : t -> int -> int
+  (** Processor currently hosting the given stage. *)
+
+  val mapping : t -> Mapping.t
+  (** Snapshot of the current assignment. *)
+
+  val stages : t -> int
+  val processors : t -> int
+end

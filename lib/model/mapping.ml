@@ -43,41 +43,144 @@ let blocks ~stages ~processors =
       let rec find g = if i < boundaries.(g + 1) then g else find (g + 1) in
       find 0)
 
-let enumerate ?fix_first_on ~stages ~processors () =
-  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.enumerate";
-  let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
-  let count = Float.of_int processors ** Float.of_int free in
-  if count > Float.of_int (1 lsl 22) then
-    invalid_arg "Mapping.enumerate: assignment space too large";
-  let total = int_of_float count in
-  List.init total (fun code ->
-      let m = Array.make stages 0 in
-      let start =
-        match fix_first_on with
-        | Some p ->
-            m.(0) <- p;
-            1
-        | None -> 0
-      in
-      let rest = ref code in
-      for i = start to stages - 1 do
-        m.(i) <- !rest mod processors;
-        rest := !rest / processors
-      done;
-      m)
+(* --------------------------------------------------------- enumeration *)
 
-let neighbours t ~processors =
+let max_enumeration = 1 lsl 22
+
+(* [processors]^[stages] without ever overflowing: the running product is
+   abandoned the moment it would exceed [cap]. The old float-based sizing
+   ([Float.of_int p ** Float.of_int s] squeezed back through
+   [int_of_float]) could misround near the cap — [5. ** 9.] and friends are
+   not guaranteed exact through pow — and silently wrapped for large
+   exponents. *)
+let space_within ~stages ~processors ~cap =
+  if stages < 0 || processors <= 0 || cap < 0 then invalid_arg "Mapping.space_within";
+  let rec go acc i =
+    if i = stages then Some acc
+    else if acc > cap / processors then None
+    else go (acc * processors) (i + 1)
+  in
+  go 1 0
+
+let space_size ~stages ~processors = space_within ~stages ~processors ~cap:max_int
+
+let free_start fix_first_on = match fix_first_on with Some _ -> 1 | None -> 0
+
+let check_dims ?fix_first_on ~stages ~processors () =
+  if stages <= 0 || processors <= 0 then invalid_arg "Mapping.enumerate";
+  match fix_first_on with
+  | Some p when p < 0 || p >= processors ->
+      invalid_arg "Mapping.enumerate: fix_first_on out of range"
+  | _ -> ()
+
+let enumeration_total ?fix_first_on ~stages ~processors () =
+  let free = stages - free_start fix_first_on in
+  match space_within ~stages:free ~processors ~cap:max_enumeration with
+  | Some n -> n
+  | None -> invalid_arg "Mapping.enumerate: assignment space too large"
+
+let iter_enumerate ?fix_first_on ~stages ~processors f =
+  check_dims ?fix_first_on ~stages ~processors ();
+  let total = enumeration_total ?fix_first_on ~stages ~processors () in
+  let start = free_start fix_first_on in
+  let m = Array.make stages 0 in
+  (match fix_first_on with Some p -> m.(0) <- p | None -> ());
+  f m;
+  for _ = 1 to total - 1 do
+    (* Odometer step: the free digits are little-endian in the code, so the
+       visit order is ascending enumeration code. *)
+    let i = ref start in
+    while m.(!i) = processors - 1 do
+      m.(!i) <- 0;
+      incr i
+    done;
+    m.(!i) <- m.(!i) + 1;
+    f m
+  done
+
+let enumerate ?fix_first_on ~stages ~processors () =
   let acc = ref [] in
+  iter_enumerate ?fix_first_on ~stages ~processors (fun m -> acc := Array.copy m :: !acc);
+  List.rev !acc
+
+let decode ?fix_first_on ~stages ~processors code =
+  check_dims ?fix_first_on ~stages ~processors ();
+  let total = enumeration_total ?fix_first_on ~stages ~processors () in
+  if code < 0 || code >= total then invalid_arg "Mapping.decode: code out of range";
+  let start = free_start fix_first_on in
+  let m = Array.make stages 0 in
+  (match fix_first_on with Some p -> m.(0) <- p | None -> ());
+  let rest = ref code in
+  for i = start to stages - 1 do
+    m.(i) <- !rest mod processors;
+    rest := !rest / processors
+  done;
+  m
+
+let code_of ?fix_first_on ~processors t =
+  let start = free_start fix_first_on in
+  let code = ref 0 in
+  for i = Array.length t - 1 downto start do
+    code := (!code * processors) + t.(i)
+  done;
+  !code
+
+let iter_gray ?fix_first_on ~stages ~processors ~init ~step () =
+  check_dims ?fix_first_on ~stages ~processors ();
+  let total = enumeration_total ?fix_first_on ~stages ~processors () in
+  ignore total;
+  let start = free_start fix_first_on in
+  let n = stages - start in
+  let m = Array.make stages 0 in
+  (match fix_first_on with Some p -> m.(0) <- p | None -> ());
+  init m;
+  if processors > 1 && n > 0 then begin
+    (* Loopless reflected mixed-radix Gray walk (Knuth 7.2.1.1, Algorithm H):
+       each step moves exactly one free digit by +-1. The enumeration code is
+       maintained incrementally from the digit's weight. *)
+    let a = Array.make n 0 in
+    let focus = Array.init (n + 1) Fun.id in
+    let dir = Array.make n 1 in
+    let pow = Array.make n 1 in
+    for j = 1 to n - 1 do
+      pow.(j) <- pow.(j - 1) * processors
+    done;
+    let code = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let j = focus.(0) in
+      focus.(0) <- 0;
+      if j = n then continue := false
+      else begin
+        a.(j) <- a.(j) + dir.(j);
+        m.(start + j) <- a.(j);
+        code := !code + (dir.(j) * pow.(j));
+        if a.(j) = 0 || a.(j) = processors - 1 then begin
+          dir.(j) <- -dir.(j);
+          focus.(j) <- focus.(j + 1);
+          focus.(j + 1) <- j + 1
+        end;
+        step m ~stage:(start + j) ~code:!code
+      end
+    done
+  end
+
+let iter_neighbours t ~processors f =
+  let m = Array.copy t in
   Array.iteri
     (fun i p ->
       for q = 0 to processors - 1 do
         if q <> p then begin
-          let m = Array.copy t in
           m.(i) <- q;
-          acc := m :: !acc
+          f ~stage:i ~target:q m
         end
-      done)
-    t;
+      done;
+      m.(i) <- p)
+    t
+
+let neighbours t ~processors =
+  let acc = ref [] in
+  iter_neighbours t ~processors (fun ~stage:_ ~target:_ m -> acc := Array.copy m :: !acc);
   List.rev !acc
 
 let colocation t ~processors =

@@ -29,13 +29,66 @@ val blocks : stages:int -> processors:int -> t
 (** Contiguous blocks: stages split as evenly as possible into [processors]
     consecutive groups — the classic static block mapping baseline. *)
 
+val max_enumeration : int
+(** Hard cap on the enumerable assignment space, [2^22]. *)
+
+val space_within : stages:int -> processors:int -> cap:int -> int option
+(** [processors ^ stages] as [Some n] when it does not exceed [cap], [None]
+    otherwise — exact integer arithmetic, never overflows. Replaces the old
+    float-based sizing ([Float.of_int p ** Float.of_int s] through
+    [int_of_float]) that could misround near the cap. [stages = 0] yields
+    [Some 1]. *)
+
+val space_size : stages:int -> processors:int -> int option
+(** [space_within ~cap:max_int]: the exact space size, or [None] when it does
+    not fit in an [int]. *)
+
 val enumerate : ?fix_first_on:int -> stages:int -> processors:int -> unit -> t list
 (** Every assignment ([processors]^[stages] of them, or a factor fewer with
-    [fix_first_on] pinning stage 0, as the paper's tables do).
-    Raises [Invalid_argument] if the space exceeds [2^22] mappings. *)
+    [fix_first_on] pinning stage 0, as the paper's tables do), in ascending
+    {e enumeration-code} order (see {!decode}).
+    Raises [Invalid_argument] if the space exceeds {!max_enumeration}. *)
+
+val iter_enumerate :
+  ?fix_first_on:int -> stages:int -> processors:int -> (t -> unit) -> unit
+(** Zero-materialization {!enumerate}: drives a single scratch array through
+    the space odometer-style and passes it to the callback once per
+    assignment, in the same ascending-code order as {!enumerate}. The array
+    is reused between calls — the callback must not retain it (copy via
+    {!to_array} if needed). Raises like {!enumerate}. *)
+
+val decode : ?fix_first_on:int -> stages:int -> processors:int -> int -> t
+(** The mapping at position [code] in enumeration order: free stages are the
+    little-endian base-[processors] digits of [code], stage 0 pinned when
+    [fix_first_on] is given. Raises [Invalid_argument] when [code] is outside
+    [\[0, space)]. *)
+
+val code_of : ?fix_first_on:int -> processors:int -> t -> int
+(** Inverse of {!decode} (the pinned stage, when any, contributes nothing). *)
+
+val iter_gray :
+  ?fix_first_on:int ->
+  stages:int ->
+  processors:int ->
+  init:(t -> unit) ->
+  step:(t -> stage:int -> code:int -> unit) ->
+  unit ->
+  unit
+(** Visits the same space as {!iter_enumerate} in reflected mixed-radix
+    Gray-code order: [init] sees the all-zeros assignment (code 0), then each
+    [step] changes {e exactly one} stage of the scratch array (by ±1 on that
+    digit) and reports the changed [stage] plus the current enumeration
+    [code]. Scratch-reuse caveats as {!iter_enumerate}. *)
 
 val neighbours : t -> processors:int -> t list
 (** All mappings differing in exactly one stage's processor. *)
+
+val iter_neighbours :
+  t -> processors:int -> (stage:int -> target:int -> t -> unit) -> unit
+(** Zero-copy {!neighbours}: the callback sees each neighbour in the same
+    order (stage ascending, then target processor ascending) through one
+    in-place scratch array, restored between stages. Scratch-reuse caveats as
+    {!iter_enumerate}. *)
 
 val colocation : t -> processors:int -> int array
 (** [colocation m ~processors] gives, per processor, the number of stages it

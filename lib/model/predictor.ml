@@ -14,11 +14,15 @@ let evaluate t m =
   | Analytic -> Analytic.throughput t.spec m
   | Ctmc -> Ctmc.throughput (Ctmc.of_costspec t.spec m)
 
-let choose ?fix_first_on t =
+let choose ?fix_first_on ?exhaustive_limit ?par t =
   let stages = Costspec.stages t.spec and processors = Costspec.processors t.spec in
-  match fix_first_on with
-  | None -> Search.auto ~stages ~processors (evaluate t)
-  | Some p ->
+  match (t.kind, fix_first_on) with
+  (* The analytic evaluator takes the incremental fast paths; the CTMC kind
+     keeps the generic walks (its evaluator dwarfs enumeration cost anyway). *)
+  | Analytic, None -> Search.auto_spec ?exhaustive_limit ?par t.spec
+  | Analytic, Some p -> Search.exhaustive_spec ~fix_first_on:p t.spec
+  | Ctmc, None -> Search.auto ?exhaustive_limit ~stages ~processors (evaluate t)
+  | Ctmc, Some p ->
       (* Pinning the first stage shrinks the space; exhaustive it if feasible. *)
       Search.exhaustive ~fix_first_on:p ~stages ~processors (evaluate t)
 

@@ -18,8 +18,14 @@ val spec : t -> Costspec.t
 val evaluate : t -> Mapping.t -> float
 (** Predicted steady-state throughput (items/s). *)
 
-val choose : ?fix_first_on:int -> t -> Search.result
-(** Best mapping over the full space via {!Search.auto}. *)
+val choose :
+  ?fix_first_on:int -> ?exhaustive_limit:int -> ?par:Search.par -> t -> Search.result
+(** Best mapping over the full space. The [Analytic] kind runs the
+    incremental fast paths ({!Search.auto_spec} / {!Search.exhaustive_spec},
+    with [par] enabling the chunked parallel backend on large spaces); the
+    [Ctmc] kind keeps the generic {!Search.auto} / {!Search.exhaustive}.
+    All backends obey the lowest-code tie-break, so the chosen mapping is
+    independent of backend and worker count. *)
 
 val rank : t -> Mapping.t list -> (Mapping.t * float) list
 (** Candidates with scores, best first; deterministic for equal scores. *)

@@ -2,6 +2,15 @@ type evaluator = Mapping.t -> float
 
 type result = { mapping : Mapping.t; score : float; evaluated : int }
 
+(* Exhaustive search is cheap enough since the incremental evaluator landed
+   that the auto policy can afford spaces an order of magnitude larger than
+   the historical 20k before bailing to greedy+hill-climb. *)
+let default_exhaustive_limit = 262_144
+
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let sequential_par = { pmap = (fun f xs -> List.map f xs) }
+
 let best_of candidates evaluator =
   match candidates with
   | [] -> invalid_arg "Search.best_of: no candidates"
@@ -17,8 +26,31 @@ let best_of candidates evaluator =
       in
       { mapping = fst best; score = snd best; evaluated = !count }
 
-let exhaustive ?fix_first_on ~stages ~processors evaluator =
+let exhaustive_ref ?fix_first_on ~stages ~processors evaluator =
   best_of (Mapping.enumerate ?fix_first_on ~stages ~processors ()) evaluator
+
+(* Generic exhaustive over the scratch-array enumeration: ascending code
+   order with copy-on-improve, so the winner among equal scores is the lowest
+   enumeration code — exactly the tie-break [exhaustive_ref] implements by
+   folding the materialized list. *)
+let exhaustive ?fix_first_on ~stages ~processors evaluator =
+  let count = ref 0 in
+  let best_score = ref neg_infinity in
+  let best = ref [||] in
+  let have = ref false in
+  Mapping.iter_enumerate ?fix_first_on ~stages ~processors (fun m ->
+      incr count;
+      let s = evaluator m in
+      if (not !have) || s > !best_score then begin
+        have := true;
+        best_score := s;
+        best := Mapping.to_array m
+      end);
+  {
+    mapping = Mapping.of_array ~processors !best;
+    score = !best_score;
+    evaluated = !count;
+  }
 
 let greedy ~stages ~processors evaluator =
   if stages <= 0 || processors <= 0 then invalid_arg "Search.greedy";
@@ -52,30 +84,348 @@ let hill_climb ?(max_steps = 1000) ~start ~processors evaluator =
   let rec climb mapping score steps =
     if steps >= max_steps then { mapping; score; evaluated = !evaluated }
     else begin
-      let candidates = Mapping.neighbours mapping ~processors in
-      let better =
-        List.fold_left
-          (fun acc m ->
-            let s = evaluator m in
-            incr evaluated;
-            match acc with
-            | Some (_, bs) when bs >= s -> acc
-            | _ when s > score -> Some (m, s)
-            | acc -> acc)
-          None candidates
-      in
-      match better with
-      | None -> { mapping; score; evaluated = !evaluated }
-      | Some (m, s) -> climb m s (steps + 1)
+      (* Steepest ascent over the in-place neighbour scratch; the array is
+         copied only when it improves on everything seen this step, killing
+         the s×(p−1) copies the materialized [neighbours] list used to pay. *)
+      let best_s = ref neg_infinity in
+      let best_m = ref [||] in
+      Mapping.iter_neighbours mapping ~processors (fun ~stage:_ ~target:_ m ->
+          incr evaluated;
+          let s = evaluator m in
+          if s > score && s > !best_s then begin
+            best_s := s;
+            best_m := Mapping.to_array m
+          end);
+      if !best_m = [||] then { mapping; score; evaluated = !evaluated }
+      else climb (Mapping.of_array ~processors !best_m) !best_s (steps + 1)
     end
   in
   climb start (evaluator start) 0
 
-let auto ?(exhaustive_limit = 20_000) ~stages ~processors evaluator =
-  let space = Float.of_int processors ** Float.of_int stages in
-  if space <= Float.of_int exhaustive_limit then exhaustive ~stages ~processors evaluator
-  else begin
-    let greedy_result = greedy ~stages ~processors evaluator in
-    let refined = hill_climb ~start:greedy_result.mapping ~processors evaluator in
-    { refined with evaluated = refined.evaluated + greedy_result.evaluated }
-  end
+let auto ?(exhaustive_limit = default_exhaustive_limit) ~stages ~processors evaluator =
+  match Mapping.space_within ~stages ~processors ~cap:exhaustive_limit with
+  | Some _ -> exhaustive ~stages ~processors evaluator
+  | None ->
+      let greedy_result = greedy ~stages ~processors evaluator in
+      let refined = hill_climb ~start:greedy_result.mapping ~processors evaluator in
+      { refined with evaluated = refined.evaluated + greedy_result.evaluated }
+
+(* ------------------------------------------------------------------ *)
+(* Spec-specialized fast paths on [Analytic.Incr].                     *)
+
+(* Processors [p] and [q] are interchangeable when transposing them leaves
+   the spec bit-identical: equal node rates and user-link costs, and
+   latency/bandwidth matrices invariant under the swap (exact float
+   equality). Relabeling a mapping by such a transposition then permutes the
+   station multiset without changing any station's value, so the score is
+   bit-identical — the invariant canonicalization relies on. *)
+let symmetric_pair (spec : Costspec.t) p q =
+  let np = Costspec.processors spec in
+  let matrix_swap_invariant (m : float array array) =
+    m.(p).(p) = m.(q).(q)
+    && m.(p).(q) = m.(q).(p)
+    &&
+    let ok = ref true in
+    for r = 0 to np - 1 do
+      if r <> p && r <> q then
+        if not (m.(p).(r) = m.(q).(r) && m.(r).(p) = m.(r).(q)) then ok := false
+    done;
+    !ok
+  in
+  spec.Costspec.node_rates.(p) = spec.Costspec.node_rates.(q)
+  && spec.Costspec.user_latency.(p) = spec.Costspec.user_latency.(q)
+  && spec.Costspec.user_bandwidth.(p) = spec.Costspec.user_bandwidth.(q)
+  && matrix_swap_invariant spec.Costspec.latency
+  && matrix_swap_invariant spec.Costspec.bandwidth
+
+(* [class_of.(p)] is the smallest processor symmetric with [p]; the pinned
+   processor, when any, is frozen in its own singleton so canonicalization
+   never relabels it. Checking each candidate against the class
+   representative suffices: two processors individually swap-symmetric with
+   the same representative are swap-symmetric with each other (their rows
+   and columns all equal the representative's up to the swapped entries). *)
+let symmetry_classes ?fix_first_on spec =
+  let np = Costspec.processors spec in
+  let class_of = Array.init np Fun.id in
+  let pinned p = fix_first_on = Some p in
+  for p = 0 to np - 1 do
+    if class_of.(p) = p && not (pinned p) then
+      for q = p + 1 to np - 1 do
+        if class_of.(q) = q && (not (pinned q)) && symmetric_pair spec p q then
+          class_of.(q) <- p
+      done
+  done;
+  class_of
+
+(* Previous member of [p]'s symmetry class in processor order, or -1 when
+   [p] is its class's smallest member. Canonical (restricted-growth)
+   assignments use a class member only after its predecessor appears. *)
+let class_predecessors class_of =
+  let np = Array.length class_of in
+  let last_seen = Array.make np (-1) in
+  Array.init np (fun p ->
+      let c = class_of.(p) in
+      let pred = last_seen.(c) in
+      last_seen.(c) <- p;
+      pred)
+
+(* Minimal enumeration code of [assign] over all symmetric relabelings:
+   scanning stages from the most significant digit (the last stage — codes
+   are little-endian), greedily relabel each class's processors to the
+   class's smallest unused member at first use. Returns the relabeled
+   assignment, its code. *)
+let relabel_min_code ?fix_first_on ~class_of assign =
+  let ns = Array.length assign and np = Array.length class_of in
+  let members = Array.make np [] in
+  for p = np - 1 downto 0 do
+    members.(class_of.(p)) <- p :: members.(class_of.(p))
+  done;
+  let label = Array.make np (-1) in
+  let out = Array.make ns 0 in
+  let start = match fix_first_on with Some _ -> 1 | None -> 0 in
+  (match fix_first_on with Some _ -> out.(0) <- assign.(0) | None -> ());
+  for i = ns - 1 downto start do
+    let p = assign.(i) in
+    if label.(p) < 0 then begin
+      let c = class_of.(p) in
+      match members.(c) with
+      | next :: rest ->
+          label.(p) <- next;
+          members.(c) <- rest
+      | [] -> assert false
+    end;
+    out.(i) <- label.(p)
+  done;
+  let code = ref 0 in
+  for i = ns - 1 downto start do
+    code := (!code * np) + out.(i)
+  done;
+  (out, !code)
+
+let check_space ?fix_first_on ~stages ~processors ~cap () =
+  let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
+  match Mapping.space_within ~stages:free ~processors ~cap with
+  | Some n -> n
+  | None -> invalid_arg "Mapping.enumerate: assignment space too large"
+
+(* Branch-and-bound DFS over assignment prefixes, scoring leaves with
+   [Analytic.Incr]. Stages are assigned in increasing index order, so each
+   prefix's per-processor work sums are stage-order left folds — prefixes of
+   the exact sums the evaluator computes. Adding work to a processor can
+   only lower its capacity station (float division by a left-fold-larger sum
+   is monotone), so
+
+     bound = min over processors of (node_rate / work-so-far)
+
+   is an upper bound, {e in float arithmetic}, on every leaf score below the
+   prefix: each leaf's throughput is ≤ its own capacity stations, which are
+   ≤ the prefix's. Pruning is on strict [bound < best] only — equal-score
+   subtrees must be visited because the DFS order is not ascending-code, and
+   the contract is lowest-code-wins among ties. *)
+let exhaustive_spec ?fix_first_on ?(prune = true) ?(canonical = true) spec =
+  let ns = Costspec.stages spec and np = Costspec.processors spec in
+  let total = check_space ?fix_first_on ~stages:ns ~processors:np ~cap:Mapping.max_enumeration () in
+  ignore total;
+  let start = match fix_first_on with Some _ -> 1 | None -> 0 in
+  (match fix_first_on with
+  | Some p when p < 0 || p >= np -> invalid_arg "Mapping.enumerate: fix_first_on out of range"
+  | _ -> ());
+  let class_of = if canonical then symmetry_classes ?fix_first_on spec else Array.init np Fun.id in
+  (* Canonicalization only pays when at least one class has two members;
+     fully heterogeneous specs take the plain pruned walk. *)
+  let canonical =
+    canonical
+    &&
+    let nontrivial = ref false in
+    Array.iteri (fun p c -> if c <> p then nontrivial := true) class_of;
+    !nontrivial
+  in
+  let pred = class_predecessors class_of in
+  let used = Array.make np 0 in
+  let work = spec.Costspec.stage_work in
+  let rates = spec.Costspec.node_rates in
+  let bound_work = Array.make np 0.0 in
+  let m0 = Array.make ns 0 in
+  (match fix_first_on with
+  | Some p ->
+      m0.(0) <- p;
+      used.(p) <- 1;
+      bound_work.(p) <- 0.0 +. work.(0)
+  | None -> ());
+  let root_bound =
+    match fix_first_on with
+    | Some p -> if bound_work.(p) <= 0.0 then infinity else rates.(p) /. bound_work.(p)
+    | None -> infinity
+  in
+  let pow = Array.make (ns - start) 1 in
+  for k = 1 to ns - start - 1 do
+    pow.(k) <- pow.(k - 1) * np
+  done;
+  let incr_state = Analytic.Incr.create spec (Mapping.of_array ~processors:np m0) in
+  let scored = ref 0 in
+  let have = ref false in
+  let best_score = ref neg_infinity in
+  let best_code = ref max_int in
+  let best_assign = ref [||] in
+  let rec dfs s bound code =
+    if s = ns then begin
+      incr scored;
+      let score = Analytic.Incr.score incr_state in
+      if (not !have) || score >= !best_score then begin
+        let leaf = Array.init ns (Analytic.Incr.assignment incr_state) in
+        if canonical then begin
+          (* The representative's score is the whole symmetry class's score;
+             rank the class by its minimal-code member so the winner is the
+             same assignment the plain ascending-code walk returns. *)
+          let relabeled, ccode = relabel_min_code ?fix_first_on ~class_of leaf in
+          if (not !have) || score > !best_score || ccode < !best_code then begin
+            have := true;
+            best_score := score;
+            best_code := ccode;
+            best_assign := relabeled
+          end
+        end
+        else if (not !have) || score > !best_score || code < !best_code then begin
+          have := true;
+          best_score := score;
+          best_code := code;
+          best_assign := leaf
+        end
+      end
+    end
+    else
+      for q = 0 to np - 1 do
+        if (not canonical) || pred.(q) < 0 || used.(pred.(q)) > 0 then begin
+          let saved = bound_work.(q) in
+          let w = saved +. work.(s) in
+          bound_work.(q) <- w;
+          let station = if w <= 0.0 then infinity else rates.(q) /. w in
+          let bound' = Float.min bound station in
+          if (not prune) || (not !have) || not (bound' < !best_score) then begin
+            Analytic.Incr.move incr_state ~stage:s q;
+            used.(q) <- used.(q) + 1;
+            dfs (s + 1) bound' (code + (q * pow.(s - start)));
+            used.(q) <- used.(q) - 1
+          end;
+          bound_work.(q) <- saved
+        end
+      done
+  in
+  dfs start root_bound 0;
+  {
+    mapping = Mapping.of_array ~processors:np !best_assign;
+    score = !best_score;
+    evaluated = !scored;
+  }
+
+(* Best (score, code) over the contiguous code range [lo, hi), walking the
+   odometer with one [Incr.move] per changed digit. Within a chunk the visit
+   order is ascending code, so first-wins ties are lowest-code ties. *)
+let search_range ?fix_first_on spec ~lo ~hi =
+  let ns = Costspec.stages spec and np = Costspec.processors spec in
+  let start = match fix_first_on with Some _ -> 1 | None -> 0 in
+  let scratch = Mapping.to_array (Mapping.decode ?fix_first_on ~stages:ns ~processors:np lo) in
+  let st = Analytic.Incr.create spec (Mapping.of_array ~processors:np scratch) in
+  let best_score = ref (Analytic.Incr.score st) in
+  let best_code = ref lo in
+  for code = lo + 1 to hi - 1 do
+    let i = ref start in
+    while scratch.(!i) = np - 1 do
+      scratch.(!i) <- 0;
+      Analytic.Incr.move st ~stage:!i 0;
+      incr i
+    done;
+    scratch.(!i) <- scratch.(!i) + 1;
+    Analytic.Incr.move st ~stage:!i scratch.(!i);
+    let s = Analytic.Incr.score st in
+    if s > !best_score then begin
+      best_score := s;
+      best_code := code
+    end
+  done;
+  (!best_score, !best_code)
+
+let default_chunks total = if total >= 32_768 then 32 else 1
+
+let exhaustive_par ?fix_first_on ?(par = sequential_par) ?chunks spec =
+  let ns = Costspec.stages spec and np = Costspec.processors spec in
+  let total = check_space ?fix_first_on ~stages:ns ~processors:np ~cap:Mapping.max_enumeration () in
+  let chunks = max 1 (min (match chunks with Some c -> c | None -> default_chunks total) total) in
+  let size = (total + chunks - 1) / chunks in
+  let ranges =
+    List.init chunks (fun i ->
+        let lo = i * size in
+        (lo, min total (lo + size)))
+    |> List.filter (fun (lo, hi) -> lo < hi)
+  in
+  let results = par.pmap (fun (lo, hi) -> search_range ?fix_first_on spec ~lo ~hi) ranges in
+  (* Chunks are merged in ascending range order with a strict improvement
+     test, so equal scores resolve to the earliest chunk — i.e. the lowest
+     code, independent of how [par.pmap] scheduled the chunks. *)
+  let best_score, best_code =
+    match results with
+    | [] -> invalid_arg "Search.exhaustive_par: empty space"
+    | first :: rest ->
+        List.fold_left
+          (fun (bs, bc) (s, c) -> if s > bs then (s, c) else (bs, bc))
+          first rest
+  in
+  {
+    mapping = Mapping.decode ?fix_first_on ~stages:ns ~processors:np best_code;
+    score = best_score;
+    evaluated = total;
+  }
+
+(* Steepest-ascent hill climb on the incremental evaluator: neighbour moves
+   are probed as move/undo pairs on one [Incr] state. Neighbour order and
+   tie-breaks replicate [hill_climb] exactly, and [Incr] scores are
+   bit-identical to the full evaluator, so the trajectory — and therefore
+   the result — matches the generic climb on [Analytic.throughput]. *)
+let hill_climb_spec ?(max_steps = 1000) ~start spec =
+  let np = Costspec.processors spec in
+  let ns = Costspec.stages spec in
+  let st = Analytic.Incr.create spec start in
+  let evaluated = ref 1 in
+  let score = ref (Analytic.Incr.score st) in
+  let steps = ref 0 in
+  let improved = ref true in
+  while !improved && !steps < max_steps do
+    let best_s = ref neg_infinity and best_stage = ref (-1) and best_q = ref (-1) in
+    for i = 0 to ns - 1 do
+      let p = Analytic.Incr.assignment st i in
+      for q = 0 to np - 1 do
+        if q <> p then begin
+          Analytic.Incr.move st ~stage:i q;
+          incr evaluated;
+          let s = Analytic.Incr.score st in
+          if s > !score && s > !best_s then begin
+            best_s := s;
+            best_stage := i;
+            best_q := q
+          end;
+          Analytic.Incr.move st ~stage:i p
+        end
+      done
+    done;
+    if !best_stage >= 0 then begin
+      Analytic.Incr.move st ~stage:!best_stage !best_q;
+      score := !best_s;
+      incr steps
+    end
+    else improved := false
+  done;
+  { mapping = Analytic.Incr.mapping st; score = !score; evaluated = !evaluated }
+
+let auto_spec ?(exhaustive_limit = default_exhaustive_limit) ?fix_first_on ?par spec =
+  let ns = Costspec.stages spec and np = Costspec.processors spec in
+  let free = match fix_first_on with Some _ -> ns - 1 | None -> ns in
+  match Mapping.space_within ~stages:free ~processors:np ~cap:exhaustive_limit with
+  | Some total ->
+      (match par with
+      | Some par when total >= 32_768 -> exhaustive_par ?fix_first_on ~par spec
+      | _ -> exhaustive_spec ?fix_first_on spec)
+  | None ->
+      let evaluator m = Analytic.throughput spec m in
+      let greedy_result = greedy ~stages:ns ~processors:np evaluator in
+      let refined = hill_climb_spec ~start:greedy_result.mapping spec in
+      { refined with evaluated = refined.evaluated + greedy_result.evaluated }

@@ -4,16 +4,70 @@
     Exhaustive search reproduces the paper-scale behaviour (enumerate all
     Np^Ns candidates, pick the best); greedy and hill-climbing keep the
     decision path sub-second when the space explodes, which experiment E6
-    quantifies. *)
+    quantifies.
+
+    {2 Tie-break contract}
+
+    Every exhaustive backend — the generic walk, the reference list fold,
+    the pruned/canonicalized branch-and-bound, and the chunked parallel
+    search — resolves equal scores to the candidate with the {e lowest
+    enumeration code} (see {!Mapping.decode}). Scores compare by exact float
+    equality, which is meaningful because {!Analytic.Incr} is bit-identical
+    to the full evaluator. The contract is what makes serial, pruned, and
+    [--jobs N] searches return byte-identical mappings. *)
 
 type evaluator = Mapping.t -> float
 
 type result = { mapping : Mapping.t; score : float; evaluated : int }
 
+val default_exhaustive_limit : int
+(** Largest candidate space {!auto} / {!auto_spec} searches exhaustively
+    before falling back to greedy + hill-climb: [262144] (2¹⁸), raised 13×
+    from the historical 20k by the incremental evaluator. *)
+
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** Parallel-map capability injected by callers that own a domain pool
+    (e.g. [Aspipe_runner.Pool.map_list]); the model layer stays free of any
+    runner dependency. Results must come back in input order. *)
+
+val sequential_par : par
+(** [List.map] — the degenerate backend; searches give byte-identical
+    results under any [par]. *)
+
 val exhaustive :
   ?fix_first_on:int -> stages:int -> processors:int -> evaluator -> result
-(** Scores the full assignment space. Ties break toward the first candidate
-    in enumeration order, so results are deterministic. *)
+(** Scores the full assignment space through one scratch array (no list is
+    materialized), in ascending enumeration-code order. Ties break toward
+    the lowest code. *)
+
+val exhaustive_ref :
+  ?fix_first_on:int -> stages:int -> processors:int -> evaluator -> result
+(** The historical materializing implementation ([best_of] over
+    {!Mapping.enumerate}) — kept as the differential-testing and benchmark
+    reference for {!exhaustive} and the spec-specialized backends. *)
+
+val exhaustive_spec :
+  ?fix_first_on:int -> ?prune:bool -> ?canonical:bool -> Costspec.t -> result
+(** Exhaustive search on the incremental evaluator. With [prune] (default
+    [true]) a branch-and-bound prefix bound — adding work to a processor
+    only lowers its capacity station — skips subtrees that provably cannot
+    beat the incumbent (strict inequality only, preserving the tie-break).
+    With [canonical] (default [true]) processors whose rates and link costs
+    are exactly interchangeable are collapsed: only one representative per
+    symmetry class is scored (up to p! shrinkage on uniform grids) and the
+    winner is relabeled to its class's lowest-code member. [evaluated]
+    counts scored leaves, so it shrinks under pruning/canonicalization;
+    with both disabled this is the pure Gray-order incremental walk and
+    [evaluated] equals the space size. The returned mapping and score are
+    identical to {!exhaustive} on [Analytic.throughput spec]. *)
+
+val exhaustive_par :
+  ?fix_first_on:int -> ?par:par -> ?chunks:int -> Costspec.t -> result
+(** Splits the code space into [chunks] contiguous ranges (default: 32 for
+    spaces ≥ 2¹⁵, else 1), searches each with the incremental evaluator via
+    [par.pmap], and merges in ascending range order with a strict
+    improvement test — so the result is byte-identical for any worker count,
+    including {!sequential_par}. *)
 
 val greedy : stages:int -> processors:int -> evaluator -> result
 (** Builds the mapping stage by stage, placing each stage on the processor
@@ -23,13 +77,30 @@ val greedy : stages:int -> processors:int -> evaluator -> result
 val hill_climb :
   ?max_steps:int -> start:Mapping.t -> processors:int -> evaluator -> result
 (** Steepest-ascent over the single-stage-move neighbourhood from [start];
-    stops at a local optimum or after [max_steps] (default 1000) moves. *)
+    stops at a local optimum or after [max_steps] (default 1000) moves.
+    Probes neighbours through {!Mapping.iter_neighbours}'s scratch array —
+    a candidate is copied only when it improves on the step's incumbent. *)
+
+val hill_climb_spec :
+  ?max_steps:int -> start:Mapping.t -> Costspec.t -> result
+(** {!hill_climb} on {!Analytic.Incr}: neighbours are probed as move/undo
+    pairs on one incremental state, no full re-evaluation. Same neighbour
+    order, same tie-breaks, bit-identical scores — hence the same trajectory
+    and result as the generic climb on [Analytic.throughput spec]. *)
 
 val auto :
   ?exhaustive_limit:int -> stages:int -> processors:int -> evaluator -> result
-(** Exhaustive when the space has at most [exhaustive_limit] (default 20000)
-    candidates, otherwise greedy refined by hill climbing — the policy the
-    adaptive engine uses. *)
+(** Exhaustive when the space has at most [exhaustive_limit] (default
+    {!default_exhaustive_limit}) candidates, otherwise greedy refined by
+    hill climbing — the policy the adaptive engine uses. Space sizing is
+    exact integer arithmetic (no float rounding). *)
+
+val auto_spec :
+  ?exhaustive_limit:int -> ?fix_first_on:int -> ?par:par -> Costspec.t -> result
+(** {!auto} specialized to the analytic evaluator: {!exhaustive_spec} below
+    the limit (or {!exhaustive_par} when [par] is given and the space is
+    large enough to amortize the fan-out), greedy + {!hill_climb_spec}
+    above. *)
 
 val best_of : Mapping.t list -> evaluator -> result
 (** Score an explicit candidate list (e.g. the paper's eight mappings). *)

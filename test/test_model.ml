@@ -622,6 +622,327 @@ let test_predictor_choose_and_completion () =
   let completion = Predictor.predicted_completion predictor result.Search.mapping ~items:50 in
   Alcotest.(check bool) "finite completion" true (Float.is_finite completion)
 
+(* --------------------------------------- Mapping iterators & space sizing *)
+
+let test_space_within_boundaries () =
+  let some = Alcotest.(check (option int)) in
+  some "3^3" (Some 27) (Mapping.space_within ~stages:3 ~processors:3 ~cap:27);
+  some "3^3 over cap" None (Mapping.space_within ~stages:3 ~processors:3 ~cap:26);
+  some "5^9 exact" (Some 1_953_125) (Mapping.space_size ~stages:9 ~processors:5);
+  some "2^22 is exactly enumerable" (Some Mapping.max_enumeration)
+    (Mapping.space_within ~stages:22 ~processors:2 ~cap:Mapping.max_enumeration);
+  some "3^14 exceeds the cap" None
+    (Mapping.space_within ~stages:14 ~processors:3 ~cap:Mapping.max_enumeration);
+  some "stages 0" (Some 1) (Mapping.space_within ~stages:0 ~processors:7 ~cap:0);
+  some "single processor never explodes" (Some 1)
+    (Mapping.space_size ~stages:1000 ~processors:1);
+  (* The overflow cases the float path silently misrounded. *)
+  some "2^63 overflows" None (Mapping.space_size ~stages:63 ~processors:2);
+  some "10^20 overflows" None (Mapping.space_size ~stages:20 ~processors:10);
+  some "2^62 near max_int" None (Mapping.space_size ~stages:62 ~processors:2);
+  some "2^61 fits" (Some (1 lsl 61)) (Mapping.space_size ~stages:61 ~processors:2)
+
+let test_iter_enumerate_matches_enumerate () =
+  let check_shape ?fix_first_on ~stages ~processors () =
+    let listed =
+      List.map Mapping.to_array (Mapping.enumerate ?fix_first_on ~stages ~processors ())
+    in
+    let iterated = ref [] in
+    Mapping.iter_enumerate ?fix_first_on ~stages ~processors (fun m ->
+        iterated := Mapping.to_array m :: !iterated);
+    Alcotest.(check (list (array int)))
+      (Printf.sprintf "Ns=%d Np=%d same order and content" stages processors)
+      listed
+      (List.rev !iterated)
+  in
+  check_shape ~stages:3 ~processors:3 ();
+  check_shape ~stages:4 ~processors:2 ();
+  check_shape ~fix_first_on:2 ~stages:4 ~processors:3 ();
+  check_shape ~stages:1 ~processors:1 ();
+  check_shape ~fix_first_on:0 ~stages:1 ~processors:4 ()
+
+let test_iter_enumerate_cap_boundary () =
+  (* Exactly 2^22 candidates is allowed; one multiplication more is not.
+     Counting through the iterator keeps this memory-free. *)
+  let count = ref 0 in
+  Mapping.iter_enumerate ~stages:22 ~processors:2 (fun _ -> incr count);
+  Alcotest.(check int) "2^22 visited" Mapping.max_enumeration !count;
+  Alcotest.check_raises "3^14 too large"
+    (Invalid_argument "Mapping.enumerate: assignment space too large") (fun () ->
+      Mapping.iter_enumerate ~stages:14 ~processors:3 (fun _ -> ()))
+
+let test_decode_code_roundtrip =
+  qtest ~count:200 "decode/code_of round-trip in enumeration order"
+    QCheck2.Gen.(triple (int_range 1 6) (int_range 1 4) (int_range 0 10_000))
+    (fun (stages, processors, seed) ->
+      let fix_first_on = if seed mod 3 = 0 then Some (seed mod processors) else None in
+      let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
+      let total = Option.get (Mapping.space_size ~stages:free ~processors) in
+      let code = seed mod total in
+      let m = Mapping.decode ?fix_first_on ~stages ~processors code in
+      Mapping.code_of ?fix_first_on ~processors m = code)
+
+let test_iter_gray_properties () =
+  let check_shape ?fix_first_on ~stages ~processors () =
+    let name = Printf.sprintf "Ns=%d Np=%d" stages processors in
+    let free = match fix_first_on with Some _ -> stages - 1 | None -> stages in
+    let total = Option.get (Mapping.space_size ~stages:free ~processors) in
+    let seen = Array.make total 0 in
+    let prev = ref [||] in
+    let steps = ref 0 in
+    Mapping.iter_gray ?fix_first_on ~stages ~processors
+      ~init:(fun m ->
+        let a = Mapping.to_array m in
+        Alcotest.(check int) (name ^ ": init is code 0") 0
+          (Mapping.code_of ?fix_first_on ~processors m);
+        seen.(0) <- seen.(0) + 1;
+        prev := a)
+      ~step:(fun m ~stage ~code ->
+        incr steps;
+        let a = Mapping.to_array m in
+        let changed = ref [] in
+        Array.iteri (fun i p -> if p <> !prev.(i) then changed := i :: !changed) a;
+        Alcotest.(check (list int)) (name ^ ": exactly one stage changed") [ stage ] !changed;
+        Alcotest.(check int)
+          (name ^ ": reported code matches the assignment")
+          (Mapping.code_of ?fix_first_on ~processors m)
+          code;
+        seen.(code) <- seen.(code) + 1;
+        prev := a)
+      ();
+    Alcotest.(check int) (name ^ ": full space walked") (total - 1) !steps;
+    Array.iteri
+      (fun code n ->
+        Alcotest.(check int) (Printf.sprintf "%s: code %d visited once" name code) 1 n)
+      seen
+  in
+  check_shape ~stages:4 ~processors:3 ();
+  check_shape ~stages:5 ~processors:2 ();
+  check_shape ~fix_first_on:1 ~stages:4 ~processors:3 ();
+  check_shape ~stages:3 ~processors:1 ();
+  check_shape ~stages:1 ~processors:4 ()
+
+let test_iter_neighbours_matches_neighbours () =
+  let m = Mapping.of_array ~processors:3 [| 0; 2; 1; 1 |] in
+  let listed = List.map Mapping.to_array (Mapping.neighbours m ~processors:3) in
+  let iterated = ref [] in
+  Mapping.iter_neighbours m ~processors:3 (fun ~stage ~target n ->
+      Alcotest.(check int) "callback target matches the scratch entry" target
+        (Mapping.processor_of n stage);
+      iterated := Mapping.to_array n :: !iterated);
+  Alcotest.(check (list (array int))) "same order and content" listed (List.rev !iterated)
+
+(* ------------------------------------------------- Incremental evaluator *)
+
+(* Random specs exercising the corners the differential battery cares
+   about: zero-work stages, [infinity] node rates, duplicated rates and
+   uniform link matrices (so processor-symmetry classes are non-trivial),
+   plus fully heterogeneous draws. *)
+let gen_spec =
+  QCheck2.Gen.(
+    let* stages = int_range 1 5 in
+    let* processors = int_range 1 4 in
+    let* uniform = bool in
+    let rate =
+      if uniform then oneofl [ 5.0; 10.0; infinity ]
+      else oneof [ float_range 1.0 20.0; oneofl [ 0.0; infinity ] ]
+    in
+    let work = oneof [ float_range 0.1 3.0; oneofl [ 0.0; 1.0 ] ] in
+    let* stage_work = array_size (return stages) work in
+    let* node_rates = array_size (return processors) rate in
+    let* item_bytes = float_range 0.0 2e4 in
+    let* output_bytes = array_size (return stages) (float_range 0.0 2e4) in
+    let* base_latency = if uniform then return 0.01 else float_range 0.0 0.05 in
+    let* base_bandwidth = if uniform then return 1e6 else float_range 1e5 1e7 in
+    let* latency_cells =
+      array_size (return (processors * processors)) (float_range 0.0 0.05)
+    in
+    let* bandwidth_cells =
+      array_size (return (processors * processors)) (float_range 1e5 1e7)
+    in
+    let latency =
+      Array.init processors (fun src ->
+          Array.init processors (fun dst ->
+              if uniform then base_latency else latency_cells.((src * processors) + dst)))
+    in
+    let bandwidth =
+      Array.init processors (fun src ->
+          Array.init processors (fun dst ->
+              if uniform then base_bandwidth
+              else bandwidth_cells.((src * processors) + dst)))
+    in
+    return
+      {
+        Costspec.stage_work;
+        node_rates;
+        item_bytes;
+        output_bytes;
+        latency;
+        bandwidth;
+        user_latency = Array.make processors (if uniform then 0.01 else base_latency);
+        user_bandwidth = Array.make processors (if uniform then 1e6 else base_bandwidth);
+      })
+
+let bits = Int64.bits_of_float
+
+let test_incr_matches_full_evaluator =
+  qtest ~count:300 "Incr score == Analytic.throughput over random move sequences"
+    QCheck2.Gen.(
+      triple gen_spec (int_range 0 10_000) (list_size (int_range 0 30) (pair small_nat small_nat)))
+    (fun (spec, seed, raw_moves) ->
+      let stages = Costspec.stages spec and processors = Costspec.processors spec in
+      let total = Option.get (Mapping.space_size ~stages ~processors) in
+      let start = Mapping.decode ~stages ~processors (seed mod total) in
+      let st = Analytic.Incr.create spec start in
+      let agree () =
+        bits (Analytic.Incr.score st)
+        = bits (Analytic.throughput spec (Analytic.Incr.mapping st))
+      in
+      agree ()
+      && List.for_all
+           (fun (s, p) ->
+             Analytic.Incr.move st ~stage:(s mod stages) (p mod processors);
+             agree ())
+           raw_moves)
+
+let check_results_identical name (a : Search.result) (b : Search.result) =
+  Alcotest.(check (array int))
+    (name ^ ": same mapping")
+    (Mapping.to_array a.Search.mapping)
+    (Mapping.to_array b.Search.mapping);
+  Alcotest.(check int64) (name ^ ": same score bits") (bits a.Search.score)
+    (bits b.Search.score)
+
+let test_exhaustive_backends_agree =
+  qtest ~count:200 "all exhaustive backends return the reference result"
+    QCheck2.Gen.(pair gen_spec (int_range 0 1000))
+    (fun (spec, seed) ->
+      let stages = Costspec.stages spec and processors = Costspec.processors spec in
+      let fix_first_on =
+        if seed mod 3 = 0 && stages > 1 then Some (seed mod processors) else None
+      in
+      let reference =
+        Search.exhaustive_ref ?fix_first_on ~stages ~processors (Analytic.throughput spec)
+      in
+      let same (r : Search.result) =
+        Mapping.equal r.Search.mapping reference.Search.mapping
+        && bits r.Search.score = bits reference.Search.score
+      in
+      let full (r : Search.result) = same r && r.Search.evaluated = reference.Search.evaluated in
+      full (Search.exhaustive ?fix_first_on ~stages ~processors (Analytic.throughput spec))
+      && full (Search.exhaustive_spec ?fix_first_on ~prune:false ~canonical:false spec)
+      && same (Search.exhaustive_spec ?fix_first_on ~prune:true ~canonical:false spec)
+      && same (Search.exhaustive_spec ?fix_first_on ~prune:false ~canonical:true spec)
+      && same (Search.exhaustive_spec ?fix_first_on spec)
+      && full (Search.exhaustive_par ?fix_first_on ~chunks:1 spec)
+      && full (Search.exhaustive_par ?fix_first_on ~chunks:5 spec))
+
+let test_hill_climb_spec_matches_generic =
+  qtest ~count:200 "hill_climb_spec replicates the generic climb exactly"
+    QCheck2.Gen.(pair gen_spec (int_range 0 10_000))
+    (fun (spec, seed) ->
+      let stages = Costspec.stages spec and processors = Costspec.processors spec in
+      let total = Option.get (Mapping.space_size ~stages ~processors) in
+      let start = Mapping.decode ~stages ~processors (seed mod total) in
+      let generic =
+        Search.hill_climb ~start ~processors (Analytic.throughput spec)
+      in
+      let incr = Search.hill_climb_spec ~start spec in
+      Mapping.equal generic.Search.mapping incr.Search.mapping
+      && bits generic.Search.score = bits incr.Search.score
+      && generic.Search.evaluated = incr.Search.evaluated)
+
+let test_auto_spec_matches_auto =
+  qtest ~count:100 "auto_spec agrees with the generic auto on both sides of the limit"
+    QCheck2.Gen.(pair gen_spec (oneofl [ 2; 200_000 ]))
+    (fun (spec, limit) ->
+      let stages = Costspec.stages spec and processors = Costspec.processors spec in
+      let generic =
+        Search.auto ~exhaustive_limit:limit ~stages ~processors (Analytic.throughput spec)
+      in
+      let fast = Search.auto_spec ~exhaustive_limit:limit spec in
+      Mapping.equal generic.Search.mapping fast.Search.mapping
+      && bits generic.Search.score = bits fast.Search.score)
+
+(* The uniform grid is maximally tie-heavy: every processor permutation of a
+   mapping scores identically. The contract — lowest enumeration code wins —
+   must hold on every backend, or serial and parallel searches diverge. *)
+let test_exhaustive_tie_break_lowest_code () =
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 1.0; 1.0; 1.0 |]
+      ~node_rates:[| 10.0; 10.0; 10.0 |] ~latency:0.01 ~bandwidth:1e7 ()
+  in
+  let candidates = Mapping.enumerate ~stages:4 ~processors:3 () in
+  let scores = List.map (Analytic.throughput spec) candidates in
+  let best = List.fold_left Float.max neg_infinity scores in
+  let ties = List.length (List.filter (fun s -> s = best) scores) in
+  Alcotest.(check bool) "the spec is genuinely tie-heavy" true (ties > 1);
+  let expected_code =
+    let rec first i = function
+      | [] -> assert false
+      | s :: rest -> if s = best then i else first (i + 1) rest
+    in
+    first 0 scores
+  in
+  let check_backend name (r : Search.result) =
+    Alcotest.(check int64) (name ^ ": argmax score") (bits best) (bits r.Search.score);
+    Alcotest.(check int)
+      (name ^ ": lowest code among ties")
+      expected_code
+      (Mapping.code_of ~processors:3 r.Search.mapping)
+  in
+  check_backend "reference"
+    (Search.exhaustive_ref ~stages:4 ~processors:3 (Analytic.throughput spec));
+  check_backend "generic iterator"
+    (Search.exhaustive ~stages:4 ~processors:3 (Analytic.throughput spec));
+  check_backend "gray walk" (Search.exhaustive_spec ~prune:false ~canonical:false spec);
+  check_backend "pruned" (Search.exhaustive_spec ~canonical:false spec);
+  check_backend "canonicalized" (Search.exhaustive_spec spec);
+  check_backend "parallel 7 chunks" (Search.exhaustive_par ~chunks:7 spec)
+
+let test_canonicalization_prunes_symmetric_grid () =
+  (* 4 interchangeable processors: only one representative per symmetry
+     class may be scored — far fewer than 4^5 leaves. *)
+  let spec =
+    synthetic_spec ~stage_work:[| 1.0; 0.5; 2.0; 1.0; 0.7 |]
+      ~node_rates:[| 10.0; 10.0; 10.0; 10.0 |] ()
+  in
+  let plain = Search.exhaustive_spec ~prune:false ~canonical:false spec in
+  let canon = Search.exhaustive_spec ~prune:false ~canonical:true spec in
+  check_results_identical "canonical vs plain" canon plain;
+  Alcotest.(check bool)
+    (Printf.sprintf "scored %d << %d leaves" canon.Search.evaluated plain.Search.evaluated)
+    true
+    (canon.Search.evaluated * 4 < plain.Search.evaluated)
+
+let test_search_parallel_pool_byte_identical () =
+  (* The real domain pool against the sequential backend: byte-identical
+     results regardless of worker count or chunking. *)
+  let rng = Rng.create 23 in
+  let stages = 7 and processors = 4 in
+  let spec =
+    synthetic_spec
+      ~stage_work:(Array.init stages (fun _ -> Rng.range rng 0.5 2.0))
+      ~node_rates:(Array.init processors (fun _ -> Rng.range rng 5.0 15.0))
+      ()
+  in
+  let seq = Search.exhaustive_par ~chunks:8 spec in
+  let pool = Aspipe_runner.Pool.create ~workers:4 () in
+  let par = { Search.pmap = (fun f xs -> Aspipe_runner.Pool.map_list pool f xs) } in
+  let jobs4 = Search.exhaustive_par ~par ~chunks:8 spec in
+  Aspipe_runner.Pool.shutdown pool;
+  check_results_identical "jobs 1 vs jobs 4" jobs4 seq;
+  Alcotest.(check int) "every candidate accounted" (4 * 4 * 4 * 4 * 4 * 4 * 4)
+    jobs4.Search.evaluated;
+  check_results_identical "matches the serial spec walk" jobs4 (Search.exhaustive_spec spec)
+
+let test_default_exhaustive_limit_raised () =
+  Alcotest.(check bool)
+    (Printf.sprintf "default limit %d >= 10x the historical 20k"
+       Search.default_exhaustive_limit)
+    true
+    (Search.default_exhaustive_limit >= 200_000)
+
 let () =
   Alcotest.run "aspipe_model"
     [
@@ -697,6 +1018,32 @@ let () =
           Alcotest.test_case "best_of" `Quick test_search_best_of;
           Alcotest.test_case "hill climb max steps" `Quick test_search_hill_climb_max_steps;
           Alcotest.test_case "fix_first pins" `Quick test_predictor_fix_first_pins;
+        ] );
+      ( "mapping iterators",
+        [
+          Alcotest.test_case "space sizing boundaries" `Quick test_space_within_boundaries;
+          Alcotest.test_case "iter_enumerate = enumerate" `Quick
+            test_iter_enumerate_matches_enumerate;
+          Alcotest.test_case "enumeration cap boundary" `Quick test_iter_enumerate_cap_boundary;
+          test_decode_code_roundtrip;
+          Alcotest.test_case "gray walk properties" `Quick test_iter_gray_properties;
+          Alcotest.test_case "iter_neighbours = neighbours" `Quick
+            test_iter_neighbours_matches_neighbours;
+        ] );
+      ( "incremental search",
+        [
+          test_incr_matches_full_evaluator;
+          test_exhaustive_backends_agree;
+          test_hill_climb_spec_matches_generic;
+          test_auto_spec_matches_auto;
+          Alcotest.test_case "tie-break: lowest code wins" `Quick
+            test_exhaustive_tie_break_lowest_code;
+          Alcotest.test_case "symmetry canonicalization prunes" `Quick
+            test_canonicalization_prunes_symmetric_grid;
+          Alcotest.test_case "parallel pool byte-identical" `Quick
+            test_search_parallel_pool_byte_identical;
+          Alcotest.test_case "exhaustive limit raised 10x" `Quick
+            test_default_exhaustive_limit_raised;
         ] );
       ( "predictor",
         [
