@@ -6,6 +6,7 @@ let map_array ~workers f xs =
   if n = 0 then [||]
   else if workers = 1 then Array.map f xs
   else begin
+    (* lint: domain-shared-ok workers write index-disjoint slots (Atomic next) and the array is read only after join *)
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in

@@ -1,12 +1,18 @@
 (* Tests for aspipe-lint: one positive / negative / waiver triple per rule
-   (fixtures are inline snippets — the linter is purely syntactic, so they
-   need to parse, not typecheck), severity plumbing, and a self-check that
-   the shipped tree is lint-clean at error severity. *)
+   (syntactic fixtures are inline snippets that need to parse, not
+   typecheck; typed fixtures are typechecked in-process against the
+   stdlib), severity plumbing, exit codes, SARIF, W1, and self-checks
+   that the shipped tree is clean under both passes. *)
 
 module Checker = Aspipe_lint.Checker
 module Driver = Aspipe_lint.Driver
 module Finding = Aspipe_lint.Finding
 module Rules = Aspipe_lint.Rules
+module Waivers = Aspipe_lint.Waivers
+module Typed_load = Aspipe_lint.Typed_load
+module Typed_check = Aspipe_lint.Typed_check
+module Sarif = Aspipe_lint.Sarif
+module Json = Aspipe_obs.Json
 
 let lint ?(path = "lib/demo/demo.ml") source = Checker.check ~path source
 let rules_of findings = List.map (fun f -> f.Finding.rule) findings
@@ -210,6 +216,263 @@ let test_r7_guarded_prof_record () =
           \  (* lint: unguarded-prof-ok exercising the recorder itself *)\n\
           \  Prof.record_gc ~label:\"x\"\n"))
 
+(* --------------------------------------------------- typed pass fixtures *)
+
+(* Typed fixtures typecheck against the stdlib only; a local [Spsc] /
+   [Common] stub stands in for the real modules because the typed pass
+   matches resolved-path *suffixes*. *)
+let typed ?(path = "lib/demo/demo.ml") source =
+  match Typed_load.fixture ~path source with
+  | Error msg -> Alcotest.failf "fixture does not typecheck:\n%s" msg
+  | Ok u ->
+      let waivers = Waivers.scan source in
+      Typed_check.run [ { Typed_check.unit_ = u; waivers } ]
+
+let spsc_stub =
+  "module Spsc = struct\n\
+  \  type 'a t = { mutable buf : 'a list }\n\
+  \  let create _n : 'a t = { buf = [] }\n\
+  \  let push (t : 'a t) x = t.buf <- x :: t.buf\n\
+  \  let pop (t : 'a t) = match t.buf with [] -> None | x :: tl -> t.buf <- tl; Some x\n\
+  \  let close_push (_ : 'a t) = ()\n\
+   end\n"
+
+let common_stub = "module Common = struct let par_map f xs = List.map f xs end\n"
+
+(* ------------------------------------------------------------------- R8 *)
+
+let test_r8_global_escape () =
+  let src =
+    "let table : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+     let record k v = Hashtbl.replace table k v\n\
+     let worker () = Domain.spawn (fun () -> record 1 2)\n"
+  in
+  rule_list "written global reachable from a spawn" [ "R8" ] (rules_of (typed src));
+  let unwritten =
+    "let table : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+     let look k = Hashtbl.find_opt table k\n\
+     let worker () = Domain.spawn (fun () -> look 1)\n"
+  in
+  rule_list "read-only location passes" [] (rules_of (typed unwritten));
+  let unreached =
+    "let table : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+     let record k v = Hashtbl.replace table k v\n\
+     let worker () = Domain.spawn (fun () -> 1 + 2)\n\
+     let log () = record 1 2\n"
+  in
+  rule_list "written but not spawn-reachable passes" [] (rules_of (typed unreached));
+  let atomic =
+    "let counter = Atomic.make 0\n\
+     let bump () = Atomic.incr counter\n\
+     let worker () = Domain.spawn (fun () -> bump ())\n"
+  in
+  rule_list "Atomic is sanctioned" [] (rules_of (typed atomic));
+  let waived =
+    "(* lint: domain-shared-ok single writer, joined before reads *)\n\
+     let table : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+     let record k v = Hashtbl.replace table k v\n\
+     let worker () = Domain.spawn (fun () -> record 1 2)\n"
+  in
+  rule_list "waiver at the location" [] (rules_of (typed waived));
+  let r5_waiver =
+    "(* lint: shared-state-ok guarded by the run barrier *)\n\
+     let table : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+     let record k v = Hashtbl.replace table k v\n\
+     let worker () = Domain.spawn (fun () -> record 1 2)\n"
+  in
+  rule_list "an R5 waiver covers the same location" [] (rules_of (typed r5_waiver))
+
+let test_r8_local_capture () =
+  let smuggled =
+    "let leak () =\n\
+    \  let c = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> c := 1) in\n\
+    \  Domain.join d;\n\
+    \  !c\n"
+  in
+  rule_list "closure smuggles a ref into Domain.spawn" [ "R8" ]
+    (rules_of (typed smuggled));
+  let named_closure =
+    "let leak () =\n\
+    \  let c = ref 0 in\n\
+    \  let worker () = c := 1 in\n\
+    \  let d = Domain.spawn worker in\n\
+    \  Domain.join d;\n\
+    \  !c\n"
+  in
+  rule_list "spawned named closure is attributed to the spawn" [ "R8" ]
+    (rules_of (typed named_closure));
+  let replicated =
+    "let leak () =\n\
+    \  let c = ref 0 in\n\
+    \  let ds = List.init 4 (fun _ -> Domain.spawn (fun () -> c := 1)) in\n\
+    \  List.iter Domain.join ds\n"
+  in
+  rule_list "replicated spawn is multi-context by itself" [ "R8" ]
+    (rules_of (typed replicated));
+  let transferred =
+    "let owned () =\n\
+    \  let c = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> c := 1; !c) in\n\
+    \  Domain.join d\n"
+  in
+  rule_list "ownership transfer (touched only inside one spawn) passes" []
+    (rules_of (typed transferred));
+  let creator_only =
+    "let fine () =\n\
+    \  let c = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> 41 + 1) in\n\
+    \  c := 1;\n\
+    \  Domain.join d + !c\n"
+  in
+  rule_list "creator-only mutable passes" [] (rules_of (typed creator_only));
+  let waived =
+    "let leak () =\n\
+    \  (* lint: domain-shared-ok write happens before the join-ordered read *)\n\
+    \  let c = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> c := 1) in\n\
+    \  Domain.join d;\n\
+    \  !c\n"
+  in
+  rule_list "waiver above the local" [] (rules_of (typed waived))
+
+(* ------------------------------------------------------------------- R9 *)
+
+let test_r9_spsc_discipline () =
+  let two_producers =
+    spsc_stub
+    ^ "let two () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d1 = Domain.spawn (fun () -> Spsc.push r 1) in\n\
+      \  let d2 = Domain.spawn (fun () -> Spsc.push r 2) in\n\
+      \  Domain.join d1; Domain.join d2;\n\
+      \  Spsc.pop r\n"
+  in
+  rule_list "two producer spawns flagged" [ "R9" ] (rules_of (typed two_producers));
+  let two_consumers =
+    spsc_stub
+    ^ "let two () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d1 = Domain.spawn (fun () -> Spsc.pop r) in\n\
+      \  let d2 = Domain.spawn (fun () -> Spsc.pop r) in\n\
+      \  Spsc.push r 1;\n\
+      \  Domain.join d1; Domain.join d2\n"
+  in
+  rule_list "two consumer spawns flagged" [ "R9" ] (rules_of (typed two_consumers));
+  let disciplined =
+    spsc_stub
+    ^ "let ok () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d = Domain.spawn (fun () -> Spsc.pop r) in\n\
+      \  Spsc.push r 1;\n\
+      \  Spsc.close_push r;\n\
+      \  Domain.join d\n"
+  in
+  rule_list "one producer, one consumer passes" [] (rules_of (typed disciplined));
+  let interprocedural =
+    spsc_stub
+    ^ "let feed_one q = Spsc.push q 1\n\
+       let two () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d1 = Domain.spawn (fun () -> feed_one r) in\n\
+      \  let d2 = Domain.spawn (fun () -> feed_one r) in\n\
+      \  Domain.join d1; Domain.join d2;\n\
+      \  Spsc.pop r\n"
+  in
+  rule_list "pushes through a helper are still producers" [ "R9" ]
+    (rules_of (typed interprocedural));
+  let replicated =
+    spsc_stub
+    ^ "let lanes () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let ds = List.init 4 (fun _ -> Domain.spawn (fun () -> Spsc.push r 1)) in\n\
+      \  List.iter Domain.join ds;\n\
+      \  Spsc.pop r\n"
+  in
+  rule_list "replicated producer spawn flagged" [ "R9" ] (rules_of (typed replicated));
+  let escaped =
+    spsc_stub
+    ^ "let stash () =\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d1 = Domain.spawn (fun () -> Spsc.push r 1) in\n\
+      \  let d2 = Domain.spawn (fun () -> Spsc.push r 2) in\n\
+      \  Domain.join d1; Domain.join d2;\n\
+      \  [ r ]\n"
+  in
+  rule_list "an escaping ring is skipped (documented caveat)" []
+    (rules_of (typed escaped));
+  let waived =
+    spsc_stub
+    ^ "let two () =\n\
+      \  (* lint: spsc-ok producers run in disjoint phases *)\n\
+      \  let r = Spsc.create 8 in\n\
+      \  let d1 = Domain.spawn (fun () -> Spsc.push r 1) in\n\
+      \  let d2 = Domain.spawn (fun () -> Spsc.push r 2) in\n\
+      \  Domain.join d1; Domain.join d2;\n\
+      \  Spsc.pop r\n"
+  in
+  rule_list "waiver at the create site" [] (rules_of (typed waived))
+
+(* ------------------------------------------------------------------ R10 *)
+
+let test_r10_job_purity () =
+  let registry =
+    "let hits = ref 0\n\
+     type entry = { id : string; run : quick:bool -> unit }\n\
+     let all = [ { id = \"e1\"; run = (fun ~quick -> ignore quick; incr hits) } ]\n"
+  in
+  rule_list "impure registry job flagged" [ "R10" ]
+    (rules_of (typed ~path:"lib/exp/registry.ml" registry));
+  let registry_pure =
+    "type entry = { id : string; run : quick:bool -> unit }\n\
+     let all = [ { id = \"e1\"; run = (fun ~quick -> ignore quick) } ]\n"
+  in
+  rule_list "pure registry job passes" []
+    (rules_of (typed ~path:"lib/exp/registry.ml" registry_pure));
+  let transitive =
+    common_stub
+    ^ "let hits = ref 0\n\
+       let bump () = incr hits\n\
+       let jobs xs = Common.par_map (fun x -> bump (); x) xs\n"
+  in
+  rule_list "stage closure writing module state through a helper" [ "R10" ]
+    (rules_of (typed transitive));
+  let captured =
+    common_stub
+    ^ "let f xs =\n\
+      \  let acc = ref 0 in\n\
+      \  Common.par_map (fun x -> acc := !acc + x; x) xs\n"
+  in
+  rule_list "stage closure writing a captured local" [ "R10" ]
+    (rules_of (typed captured));
+  let atomic =
+    common_stub
+    ^ "let hits = Atomic.make 0\n\
+       let f xs = Common.par_map (fun x -> Atomic.incr hits; x) xs\n"
+  in
+  rule_list "Atomic writes are sanctioned" [] (rules_of (typed atomic));
+  let local_inside =
+    common_stub
+    ^ "let f xs = Common.par_map (fun x -> let c = ref x in incr c; !c) xs\n"
+  in
+  rule_list "a local created inside the closure passes" []
+    (rules_of (typed local_inside));
+  let out_of_scope =
+    common_stub
+    ^ "let hits = ref 0\n\
+       let f xs = Common.par_map (fun x -> incr hits; x) xs\n"
+  in
+  rule_list "lib/skel is the backend's own code, not in scope" []
+    (rules_of (typed ~path:"lib/skel/demo.ml" out_of_scope));
+  let waived =
+    common_stub
+    ^ "let hits = ref 0\n\
+       let f xs =\n\
+      \  (* lint: impure-job-ok counter is debug-only and jobs-invariant *)\n\
+      \  Common.par_map (fun x -> incr hits; x) xs\n"
+  in
+  rule_list "waiver at the call site" [] (rules_of (typed waived))
+
 (* ------------------------------------------- parsing, severities, driver *)
 
 let test_syntax_error_is_a_finding () =
@@ -238,12 +501,189 @@ let test_severity_overrides () =
   rule_list "rule selection drops others" [] (rules_of only_r1)
 
 let test_rule_catalogue_consistent () =
-  Alcotest.(check (list string)) "ids are R1..R7"
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+  Alcotest.(check (list string)) "ids are R1..R10 + W1"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "W1" ]
     Rules.ids;
   let slugs = List.map (fun r -> r.Rules.slug) Rules.all in
   Alcotest.(check (list string)) "slugs are distinct" (List.sort_uniq compare slugs)
-    (List.sort compare slugs)
+    (List.sort compare slugs);
+  Alcotest.(check int) "catalogue version bumped for the typed rules" 2
+    Rules.catalogue_version;
+  Alcotest.(check (list string)) "typed ids" [ "R8"; "R9"; "R10" ] Rules.typed_ids
+
+(* ------------------------------------------------- W1, exit codes, JSON *)
+
+(* A scratch tree on disk: Driver.scan is the only entry point that runs
+   the W1 pass, so these tests write a real (tiny) root. *)
+let with_scratch_tree files f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aspipe_lint_test_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  List.iter
+    (fun (rel, contents) ->
+      let abs = Filename.concat dir rel in
+      let rec mkdirs d =
+        if not (Sys.file_exists d) then begin
+          mkdirs (Filename.dirname d);
+          Sys.mkdir d 0o755
+        end
+      in
+      mkdirs (Filename.dirname abs);
+      Out_channel.with_open_bin abs (fun oc -> Out_channel.output_string oc contents))
+    files;
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let scratch_opts root = { Driver.default with root; roots = [ "lib" ] }
+
+let test_w1_unused_waiver () =
+  with_scratch_tree
+    [ ("lib/x.ml", "(* lint: wall-clock-ok stale justification *)\nlet f x = x\n") ]
+    (fun root ->
+      let report = Driver.scan (scratch_opts root) in
+      rule_list "stale waiver flagged" [ "W1" ] (rules_of report.Driver.findings));
+  with_scratch_tree
+    [ ("lib/x.ml", "(* lint: not-a-real-slug whatever *)\nlet f x = x\n") ]
+    (fun root ->
+      let report = Driver.scan (scratch_opts root) in
+      match report.Driver.findings with
+      | [ f ] ->
+          Alcotest.(check string) "unknown slug is W1" "W1" f.Finding.rule;
+          let contains_sub hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "message names the slug" true
+            (contains_sub f.Finding.message "not-a-real-slug")
+      | other -> Alcotest.failf "expected one W1 finding, got %d" (List.length other));
+  with_scratch_tree
+    [ ("lib/x.ml", "(* lint: spsc-ok phase-disjoint producers *)\nlet f x = x\n") ]
+    (fun root ->
+      let report = Driver.scan (scratch_opts root) in
+      rule_list "typed-rule waiver survives a syntactic-only scan" []
+        (rules_of report.Driver.findings));
+  with_scratch_tree
+    [
+      ( "lib/x.ml",
+        "let elapsed () = Unix.gettimeofday () (* lint: wall-clock-ok measures a real solve *)\n"
+      );
+    ]
+    (fun root ->
+      let report = Driver.scan (scratch_opts root) in
+      rule_list "a firing waiver is not unused" [] (rules_of report.Driver.findings))
+
+let mk_report findings =
+  { Driver.files_scanned = 1; typed_ran = false; typed_units = 0; findings }
+
+let finding ?(rule = "R1") ?(severity = Finding.Error) () =
+  { Finding.rule; severity; file = "lib/x.ml"; line = 3; col = 1; message = "m" }
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean tree exits 0" 0 (Driver.exit_code (mk_report []));
+  Alcotest.(check int) "error findings exit 1" 1
+    (Driver.exit_code (mk_report [ finding () ]));
+  Alcotest.(check int) "warnings alone exit 0" 0
+    (Driver.exit_code (mk_report [ finding ~severity:Finding.Warning () ]));
+  Alcotest.(check int) "syntax failure exits 2" 2
+    (Driver.exit_code (mk_report [ finding ~rule:"syntax" () ]));
+  Alcotest.(check int) "internal failure exits 2" 2
+    (Driver.exit_code (mk_report [ finding ~rule:"internal" (); finding () ]));
+  with_scratch_tree
+    [ ("lib/x.ml", "let f x = x in\n") ]
+    (fun root ->
+      let report = Driver.scan (scratch_opts root) in
+      Alcotest.(check int) "unparseable source exits 2 end-to-end" 2
+        (Driver.exit_code report))
+
+let test_json_report_shape () =
+  let report =
+    mk_report [ finding (); finding ~rule:"R2" ~severity:Finding.Warning () ]
+  in
+  let rendered = Driver.render_json Driver.default report in
+  match Json.of_string rendered with
+  | Error e -> Alcotest.failf "report does not parse back: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "catalogue_version present and current" true
+        (Json.member "catalogue_version" j = Some (Json.Int Rules.catalogue_version));
+      let findings =
+        match Json.member "findings" j with Some (Json.List l) -> l | _ -> []
+      in
+      let severities =
+        List.filter_map
+          (fun f ->
+            match Json.member "severity" f with
+            | Some (Json.String s) -> Some s
+            | _ -> None)
+          findings
+      in
+      Alcotest.(check (list string)) "every finding carries its severity"
+        [ "error"; "warning" ] severities
+
+(* ----------------------------------------------------------------- SARIF *)
+
+let sarif_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 8)
+        (let* rule = oneofl Rules.ids in
+         let* severity = bool in
+         let* file = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+         let* line = int_range 1 5000 in
+         let* col = int_range 0 200 in
+         let* message = string_printable in
+         return
+           {
+             Finding.rule;
+             severity = (if severity then Finding.Error else Finding.Warning);
+             file = "lib/" ^ file ^ ".ml";
+             line;
+             col;
+             message;
+           }))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"SARIF round-trips through Aspipe_obs.Json"
+       gen
+       (fun findings ->
+         match Json.of_string (Sarif.render findings) with
+         | Error e -> QCheck2.Test.fail_reportf "SARIF does not parse back: %s" e
+         | Ok j ->
+             if j <> Sarif.of_findings findings then
+               QCheck2.Test.fail_reportf "parsed SARIF differs from the source value"
+             else true))
+
+let test_sarif_shape () =
+  let rendered = Sarif.render [ finding () ] in
+  match Json.of_string rendered with
+  | Error e -> Alcotest.failf "unparseable SARIF: %s" e
+  | Ok j -> (
+      Alcotest.(check bool) "sarif version" true
+        (Json.member "version" j = Some (Json.String "2.1.0"));
+      match Json.member "runs" j with
+      | Some (Json.List [ run ]) -> (
+          let driver =
+            Option.bind (Json.member "tool" run) (Json.member "driver")
+          in
+          (match Option.bind driver (Json.member "rules") with
+          | Some (Json.List rules) ->
+              Alcotest.(check int) "whole catalogue exported"
+                (List.length Rules.all) (List.length rules)
+          | _ -> Alcotest.fail "missing tool.driver.rules");
+          match Json.member "results" run with
+          | Some (Json.List [ result ]) ->
+              Alcotest.(check bool) "ruleId" true
+                (Json.member "ruleId" result = Some (Json.String "R1"))
+          | _ -> Alcotest.fail "expected one result")
+      | _ -> Alcotest.fail "expected one run")
 
 (* ------------------------------------------------------------ self-check *)
 
@@ -279,6 +719,27 @@ let test_tree_is_lint_clean () =
       if report.Driver.findings <> [] then
         Alcotest.failf "tree has lint findings:\n%s" (Driver.render_text report)
 
+(* The typed pass over the shipped tree itself: the .cmt files for the
+   libraries this test links against live in <root>/_build/default, so a
+   normal `dune runtest` exercises the interprocedural analyses on real
+   code. Skipped (not failed) when no cmts are present, e.g. after a
+   clean. *)
+let test_typed_self_check () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate the repository root from the test cwd"
+  | Some root ->
+      let report = Driver.scan { Driver.default with root; typed = true } in
+      if report.Driver.typed_units = 0 then
+        Alcotest.skip ()
+      else begin
+        Alcotest.(check bool) "typed pass ran" true report.Driver.typed_ran;
+        Alcotest.(check bool) "analysed a real library" true
+          (report.Driver.typed_units > 20);
+        if report.Driver.findings <> [] then
+          Alcotest.failf "typed pass has findings on the shipped tree:\n%s"
+            (Driver.render_text report)
+      end
+
 let () =
   Alcotest.run "aspipe_lint"
     [
@@ -292,13 +753,31 @@ let () =
           Alcotest.test_case "R6 banned-construct" `Quick test_r6_banned;
           Alcotest.test_case "R7 guarded-prof-record" `Quick test_r7_guarded_prof_record;
         ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "R8 global escape" `Quick test_r8_global_escape;
+          Alcotest.test_case "R8 local capture" `Quick test_r8_local_capture;
+          Alcotest.test_case "R9 SPSC discipline" `Quick test_r9_spsc_discipline;
+          Alcotest.test_case "R10 job purity" `Quick test_r10_job_purity;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "syntax errors surface" `Quick test_syntax_error_is_a_finding;
           Alcotest.test_case "mli parses" `Quick test_mli_parses_as_interface;
           Alcotest.test_case "severity overrides" `Quick test_severity_overrides;
           Alcotest.test_case "catalogue consistent" `Quick test_rule_catalogue_consistent;
+          Alcotest.test_case "W1 unused waivers" `Quick test_w1_unused_waiver;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "JSON report shape" `Quick test_json_report_shape;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "document shape" `Quick test_sarif_shape;
+          sarif_roundtrip;
         ] );
       ( "self-check",
-        [ Alcotest.test_case "shipped tree is lint-clean" `Quick test_tree_is_lint_clean ] );
+        [
+          Alcotest.test_case "shipped tree is lint-clean" `Quick test_tree_is_lint_clean;
+          Alcotest.test_case "typed pass over the shipped tree" `Quick test_typed_self_check;
+        ] );
     ]

@@ -1,14 +1,19 @@
 (* aspipe-lint: static analysis enforcing the repo's determinism,
-   domain-safety and observability invariants (rules R1..R6; see DESIGN.md
-   "Static analysis" and `--list-rules`).
+   domain-safety and observability invariants (syntactic rules R1..R7,
+   typed rules R8..R10; see DESIGN.md "Static analysis" / "Typed
+   analysis" and `--list-rules`).
 
-   Usage: dune build @lint                       (lint the whole tree)
+   Usage: dune build @lint                       (syntactic pass)
+          dune build @lint-typed                 (+ Typedtree pass on cmts)
           dune exec tools/lint/aspipe_lint_cli.exe -- --root . [--json]
+          ... --typed [--cmt-root _build/default]
+          ... --sarif report.sarif
           ... --severity R2=warning --severity R6=off
           ... --rules R1,R3 lib                  (subset of rules / roots)
 
-   Exit status: 0 when no error-severity finding, 1 otherwise, 2 on usage
-   or I/O errors. *)
+   Exit status: 0 when no error-severity finding, 1 when there are
+   error-severity findings, 2 on usage errors or internal failures
+   (unparseable sources, missing/unreadable cmt files). *)
 
 module Driver = Aspipe_lint.Driver
 module Finding = Aspipe_lint.Finding
@@ -19,6 +24,9 @@ let usage = "aspipe-lint [options] [scan-roots]"
 let () =
   let root = ref "." in
   let json = ref false in
+  let typed = ref false in
+  let cmt_root = ref None in
+  let sarif = ref None in
   let out = ref None in
   let severities = ref [] in
   let rules = ref None in
@@ -53,6 +61,15 @@ let () =
     [
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ("--json", Arg.Set json, " render the report as JSON instead of text");
+      ( "--typed",
+        Arg.Set typed,
+        " also run the Typedtree pass (R8..R10) over .cmt files" );
+      ( "--cmt-root",
+        Arg.String (fun d -> cmt_root := Some d),
+        "DIR directory holding the .cmt files (default: <root>/_build/default)" );
+      ( "--sarif",
+        Arg.String (fun f -> sarif := Some f),
+        "FILE also write the findings as SARIF 2.1.0 to FILE" );
       ("--out", Arg.String (fun f -> out := Some f), "FILE also write the report to FILE");
       ( "--severity",
         Arg.String set_severity,
@@ -75,6 +92,8 @@ let () =
       roots = (match List.rev !roots with [] -> Driver.default.Driver.roots | rs -> rs);
       rules = !rules;
       severities = !severities;
+      typed = !typed;
+      cmt_root = !cmt_root;
     }
   in
   match Driver.scan options with
@@ -88,4 +107,9 @@ let () =
       | Some file ->
           Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc rendered)
       | None -> ());
-      exit (if Driver.errors report > 0 then 1 else 0)
+      (match !sarif with
+      | Some file ->
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc (Driver.render_sarif report))
+      | None -> ());
+      exit (Driver.exit_code report)

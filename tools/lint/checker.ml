@@ -237,11 +237,11 @@ let structure_item_handler ctx (self : Ast_iterator.iterator) item =
   Ast_iterator.default_iterator.structure_item self item;
   if sorted then ctx.sort_depth <- ctx.sort_depth - 1
 
-let check ~path source =
+let check ?waivers ~path source =
   let ctx =
     {
       path;
-      waivers = Waivers.scan source;
+      waivers = (match waivers with Some w -> w | None -> Waivers.scan source);
       findings = [];
       guard_depth = 0;
       prof_guard_depth = 0;

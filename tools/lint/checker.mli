@@ -1,9 +1,11 @@
-(** The per-file AST walk implementing rules R1..R6. *)
+(** The per-file AST walk implementing the syntactic rules R1..R7. *)
 
-val check : path:string -> string -> Finding.t list
+val check : ?waivers:Waivers.t -> path:string -> string -> Finding.t list
 (** [check ~path source] parses [source] ([Parse.interface] when [path]
     ends in [.mli], [Parse.implementation] otherwise) and returns the
     waiver-filtered findings, sorted by location. [path] must be the
     root-relative, '/'-separated path: rule scopes and allowlists key on
     it. All findings come back at [Error] severity; the driver applies
-    severity overrides. Unparseable input yields one ["syntax"] finding. *)
+    severity overrides. Unparseable input yields one ["syntax"] finding.
+    [waivers] lets the driver share one usage-tracked table between this
+    pass, the typed pass and W1; by default the source is scanned afresh. *)

@@ -103,3 +103,151 @@ let prof_enabled_suffix = [ "Prof"; "enabled" ]
 
 let prof_record_scope path =
   starts_with ~prefix:"lib/" path && not (starts_with ~prefix:"lib/prof/" path)
+
+(* ===================== typed pass (R8..R10, Typedtree over .cmt) ======= *)
+
+(* All typed-pass name matching is on *path suffixes* (the last one or two
+   components of the resolved [Path.t]), so `Spsc.push`,
+   `Aspipe_util.Spsc.push` and the dune-mangled `Aspipe_util__Spsc.push`
+   all match — the same convention the syntactic rules use for waiver-free
+   robustness against module aliases. *)
+
+(* ------------------------------------------------------ R8 mutable-escape *)
+
+(* Expression heads that allocate an ambient mutable location. Arrays are
+   included even though read-only arrays are common: R8 only fires on
+   locations that are actually *written* somewhere, so a constant lookup
+   table never trips it. *)
+let mutable_heads =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Array"; "of_list" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Buffer"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+  ]
+
+(* Heads whose result is synchronised (or has its own dedicated analysis)
+   and is therefore *not* an R8 location: Atomic and DLS are the sanctioned
+   cross-domain cells, a Mutex is itself a guard, and Spsc/Chan rings are
+   channels whose ownership discipline R9 checks instead. *)
+let sync_heads =
+  [
+    [ "Atomic"; "make" ];
+    [ "Domain"; "DLS"; "new_key" ];
+    [ "DLS"; "new_key" ];
+    [ "Mutex"; "create" ];
+    [ "Condition"; "create" ];
+    [ "Spsc"; "create" ];
+    [ "Chan"; "create" ];
+  ]
+
+(* A mutable record literal that carries a Mutex field is treated as
+   mutex-guarded state (the Pool pattern: every field write happens with
+   t.mutex held). Heuristic, documented in DESIGN.md's soundness caveats. *)
+let mutex_guard_heads = [ [ "Mutex"; "create" ] ]
+
+(* Functions whose first positional argument they mutate. [":="], [incr],
+   [decr] and `x.(i) <- v` / `r.f <- v` (Texp_setfield) are recognised
+   structurally as well. *)
+let write_op_suffixes =
+  [
+    [ ":=" ];
+    [ "incr" ];
+    [ "decr" ];
+    [ "Hashtbl"; "add" ];
+    [ "Hashtbl"; "replace" ];
+    [ "Hashtbl"; "remove" ];
+    [ "Hashtbl"; "reset" ];
+    [ "Hashtbl"; "clear" ];
+    [ "Hashtbl"; "filter_map_inplace" ];
+    [ "Array"; "set" ];
+    [ "Array"; "unsafe_set" ];
+    [ "Array"; "fill" ];
+    [ "Array"; "blit" ];
+    [ "Array"; "sort" ];
+    [ "Array"; "stable_sort" ];
+    [ "Array"; "fast_sort" ];
+    [ "Bytes"; "set" ];
+    [ "Bytes"; "unsafe_set" ];
+    [ "Bytes"; "fill" ];
+    [ "Bytes"; "blit" ];
+    [ "Buffer"; "add_string" ];
+    [ "Buffer"; "add_char" ];
+    [ "Buffer"; "add_bytes" ];
+    [ "Buffer"; "add_substring" ];
+    [ "Buffer"; "add_buffer" ];
+    [ "Buffer"; "clear" ];
+    [ "Buffer"; "reset" ];
+    [ "Queue"; "push" ];
+    [ "Queue"; "add" ];
+    [ "Queue"; "pop" ];
+    [ "Queue"; "take" ];
+    [ "Queue"; "clear" ];
+    [ "Queue"; "transfer" ];
+    [ "Stack"; "push" ];
+    [ "Stack"; "pop" ];
+    [ "Stack"; "clear" ];
+  ]
+
+(* Worker-spawning heads: the function argument becomes a new domain
+   context. [Domain.spawn] is the primitive; everything else in the tree
+   (Pool workers, Skel_mc stages, Farm_mc lanes) bottoms out in it. *)
+let spawn_heads = [ [ "Domain"; "spawn" ] ]
+
+(* Higher-order iterators that call their function argument many times: a
+   Domain.spawn under one of these is a *replicated* spawn context (N
+   domains run the same closure), so a single syntactic site already
+   counts as multi-domain sharing. *)
+let replicating_heads =
+  [
+    [ "List"; "init" ]; [ "List"; "map" ]; [ "List"; "mapi" ]; [ "List"; "iter" ];
+    [ "List"; "iteri" ]; [ "Array"; "init" ]; [ "Array"; "map" ]; [ "Array"; "mapi" ];
+    [ "Array"; "iter" ]; [ "Array"; "iteri" ];
+  ]
+
+(* ----------------------------------------------------- R9 spsc-discipline *)
+
+let spsc_create_suffix = [ "Spsc"; "create" ]
+let spsc_push_suffixes = [ [ "Spsc"; "push" ]; [ "Spsc"; "push_chunk" ] ]
+let spsc_pop_suffixes = [ [ "Spsc"; "pop" ]; [ "Spsc"; "pop_chunk" ] ]
+
+(* ---------------------------------------------------------- R10 job-purity *)
+
+(* Registry files whose record fields listed below bind experiment job
+   closures — the roots of the jobs-1 ≡ jobs-N determinism contract. *)
+let job_registry_files = [ "lib/exp/registry.ml" ]
+let job_field_names = [ "run"; "job" ]
+
+(* Call heads whose function arguments execute on worker domains: stage
+   functions of the direct-execution backends, farm workers, and the
+   replication-splitting hook. Their closure arguments must be write-pure
+   w.r.t. ambient mutable locations. *)
+let stage_head_suffixes =
+  [
+    [ "Skel_mc"; "run" ];
+    [ "Skel_mc"; "run_fold" ];
+    [ "Skel_mc"; "run_grouped" ];
+    [ "Skel_mc"; "run_timed" ];
+    [ "Skel_mc"; "run_chan" ];
+    [ "Skel_mc"; "run_chan_fold" ];
+    [ "Farm_mc"; "map" ];
+    [ "Farm_mc"; "map_array" ];
+    [ "Farm_mc"; "map_stream" ];
+    [ "Farm_mc"; "pipeline_stage" ];
+    [ "Common"; "par_map" ];
+  ]
+
+(* The R10 scope: job/stage closures anywhere in lib/ are checked; the
+   backends' own internals (lib/skel/, lib/runner/) implement the handoff
+   machinery itself and answer to R8/R9 instead. *)
+let job_purity_scope path =
+  starts_with ~prefix:"lib/" path
+  && (not (starts_with ~prefix:"lib/skel/" path))
+  && not (starts_with ~prefix:"lib/runner/" path)

@@ -1,5 +1,7 @@
-(* Tree scan + reporting: walk the scan roots, check every .ml/.mli, apply
-   severity overrides, and render the result as text or JSON. *)
+(* Tree scan + reporting: walk the scan roots, run the syntactic pass on
+   every .ml/.mli, optionally run the typed (cmt-based) pass over the same
+   tree, apply severity overrides, flag unused waivers (W1), and render
+   the result as text, JSON or SARIF. *)
 
 type options = {
   root : string;  (* repository root *)
@@ -7,13 +9,29 @@ type options = {
   rules : string list option;  (* only these rule ids (syntax always on) *)
   severities : (string * Finding.severity option) list;
       (* per-rule overrides; [None] switches the rule off *)
+  typed : bool;  (* also run the Typedtree pass (R8..R10) *)
+  cmt_root : string option;  (* where to look for .cmt files; default
+                                <root>/_build/default *)
 }
 
-let default = { root = "."; roots = Config.scan_roots; rules = None; severities = [] }
+let default =
+  {
+    root = ".";
+    roots = Config.scan_roots;
+    rules = None;
+    severities = [];
+    typed = false;
+    cmt_root = None;
+  }
+
+(* "syntax" (unparseable input) and "internal" (typed-pass infrastructure
+   failure: missing/unreadable cmts) are not catalogue rules: they are
+   always on and map to exit code 2. *)
+let internal_rules = [ "syntax"; "internal" ]
 
 let resolve opts (f : Finding.t) =
   let enabled =
-    f.rule = "syntax"
+    List.mem f.rule internal_rules
     || match opts.rules with None -> true | Some ids -> List.mem f.rule ids
   in
   if not enabled then None
@@ -26,13 +44,21 @@ let resolve opts (f : Finding.t) =
 let check_source opts ~path source =
   List.filter_map (resolve opts) (Checker.check ~path source)
 
-type report = { files_scanned : int; findings : Finding.t list }
+type report = {
+  files_scanned : int;
+  typed_ran : bool;
+  typed_units : int;
+  findings : Finding.t list;
+}
 
 let errors r =
   List.length (List.filter (fun f -> f.Finding.severity = Finding.Error) r.findings)
 
 let warnings r =
   List.length (List.filter (fun f -> f.Finding.severity = Finding.Warning) r.findings)
+
+let internal_failures r =
+  List.length (List.filter (fun f -> List.mem f.Finding.rule internal_rules) r.findings)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -50,6 +76,98 @@ let rec collect ~dir ~rel acc =
       else acc)
     acc entries
 
+let internal_finding message =
+  { Finding.rule = "internal"; severity = Finding.Error; file = "."; line = 0; col = 0; message }
+
+(* The typed pass: locate cmts, pair each unit with the waiver table its
+   source's syntactic scan already built (so waiver usage accumulates
+   across both passes), and run the whole-tree analyses. *)
+let run_typed opts tables =
+  let cmt_root =
+    match opts.cmt_root with
+    | Some dir -> dir
+    | None -> Filename.concat opts.root (Filename.concat "_build" "default")
+  in
+  if not (Sys.file_exists cmt_root && Sys.is_directory cmt_root) then
+    ( [
+        internal_finding
+          (Printf.sprintf
+             "typed pass: cmt directory %S not found; run `dune build @lint-typed` \
+              (or any full build) first, or pass --cmt-root"
+             cmt_root);
+      ],
+      0 )
+  else
+    let lr = Typed_load.load_tree ~root:opts.root ~cmt_root ~roots:opts.roots in
+    let load_findings = List.map internal_finding lr.errors in
+    if lr.units = [] then
+      ( internal_finding
+          (Printf.sprintf
+             "typed pass: no .cmt files for the scan roots under %S; run `dune \
+              build @lint-typed` first"
+             cmt_root)
+        :: load_findings,
+        0 )
+    else
+      let inputs =
+        List.filter_map
+          (fun (u : Typed_load.unit_input) ->
+            match Hashtbl.find_opt tables u.path with
+            | Some waivers -> Some { Typed_check.unit_ = u; waivers }
+            | None -> None)
+          lr.units
+      in
+      (load_findings @ Typed_check.run inputs, List.length inputs)
+
+(* W1: any waiver entry still unused after every pass that could have fired
+   it. Unknown slugs are always reported; known slugs only when their rule
+   was actually part of this scan (enabled, and — for R8..R10 — the typed
+   pass ran), so a typed-rule waiver survives a syntactic-only scan. *)
+let unused_waivers opts ~typed_ran tables =
+  let rule_enabled id =
+    (match opts.rules with None -> true | Some ids -> List.mem id ids)
+    && (match List.assoc_opt id opts.severities with Some None -> false | _ -> true)
+  in
+  let active_slug slug =
+    List.exists
+      (fun (r : Rules.t) ->
+        r.slug = slug && r.id <> "W1" && rule_enabled r.id
+        && ((not (List.mem r.id Rules.typed_ids)) || typed_ran))
+      Rules.all
+  in
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun path waivers ->
+      List.iter
+        (fun (line, slug, used) ->
+          if not used then
+            let unknown = not (List.mem slug Rules.slugs) in
+            if unknown || active_slug slug then
+              if not (Waivers.allows waivers ~line ~slug:"unused-waiver-ok") then
+                findings :=
+                  {
+                    Finding.rule = "W1";
+                    severity = Finding.Error;
+                    file = path;
+                    line;
+                    col = 0;
+                    message =
+                      (if unknown then
+                         Printf.sprintf
+                           "unknown waiver slug `%s`; see --list-rules for the \
+                            catalogue"
+                           slug
+                       else
+                         Printf.sprintf
+                           "waiver `%s` never fired at this site; delete it (a dead \
+                            waiver can mask a future regression)"
+                           slug);
+                  }
+                  :: !findings)
+        (Waivers.entries waivers))
+    tables;
+  !findings
+
 let scan opts =
   let files =
     List.concat_map
@@ -57,17 +175,44 @@ let scan opts =
         let dir = Filename.concat opts.root r in
         if not (Sys.file_exists dir && Sys.is_directory dir) then
           failwith (Printf.sprintf "aspipe-lint: scan root %S not found under %S" r opts.root);
-        collect ~dir ~rel:r [])
+        collect ~dir:dir ~rel:r [])
       opts.roots
   in
   let files = List.sort compare files in
-  let findings =
-    List.concat_map (fun (abs, rel) -> check_source opts ~path:rel (read_file abs)) files
+  (* One shared, usage-tracked waiver table per file: the syntactic pass,
+     the typed pass and W1 all mark the same entries. *)
+  let tables : (string, Waivers.t) Hashtbl.t = Hashtbl.create 64 in
+  let syntactic =
+    List.concat_map
+      (fun (abs, rel) ->
+        let source = read_file abs in
+        let waivers = Waivers.scan source in
+        Hashtbl.replace tables rel waivers;
+        Checker.check ~waivers ~path:rel source)
+      files
   in
-  { files_scanned = List.length files; findings = List.sort Finding.compare findings }
+  let typed_findings, typed_units =
+    if opts.typed then run_typed opts tables else ([], 0)
+  in
+  (* The typed rules only "ran" for W1 purposes when units were analysed;
+     a failed cmt lookup already yields an internal finding. *)
+  let typed_ran = opts.typed && typed_units > 0 in
+  let w1 = unused_waivers opts ~typed_ran tables in
+  let findings =
+    List.filter_map (resolve opts) (syntactic @ typed_findings @ w1)
+  in
+  {
+    files_scanned = List.length files;
+    typed_ran;
+    typed_units;
+    findings = List.sort Finding.compare findings;
+  }
 
 let summary_line r =
-  Printf.sprintf "aspipe-lint: %d files scanned, %d errors, %d warnings" r.files_scanned
+  Printf.sprintf "aspipe-lint: %d files scanned%s, %d errors, %d warnings"
+    r.files_scanned
+    (if r.typed_ran then Printf.sprintf " (typed pass over %d units)" r.typed_units
+     else "")
     (errors r) (warnings r)
 
 let render_text r =
@@ -86,15 +231,25 @@ let to_json opts r =
     [
       ("tool", Aspipe_obs.Json.String "aspipe-lint");
       ("version", Aspipe_obs.Json.Int 1);
+      ("catalogue_version", Aspipe_obs.Json.Int Rules.catalogue_version);
       ("roots", Aspipe_obs.Json.List (List.map (fun s -> Aspipe_obs.Json.String s) opts.roots));
       ("files_scanned", Aspipe_obs.Json.Int r.files_scanned);
+      ("typed", Aspipe_obs.Json.Bool r.typed_ran);
+      ("typed_units", Aspipe_obs.Json.Int r.typed_units);
       ("findings", Aspipe_obs.Json.List (List.map Finding.to_json r.findings));
       ( "summary",
         Aspipe_obs.Json.Obj
           [
             ("errors", Aspipe_obs.Json.Int (errors r));
             ("warnings", Aspipe_obs.Json.Int (warnings r));
+            ("internal_failures", Aspipe_obs.Json.Int (internal_failures r));
           ] );
     ]
 
 let render_json opts r = Aspipe_obs.Json.to_string (to_json opts r) ^ "\n"
+let render_sarif r = Sarif.render r.findings
+
+(* Exit status for a report: 2 on infrastructure failure (unparseable
+   input, missing/unreadable cmts), 1 on error-severity findings, else 0. *)
+let exit_code r =
+  if internal_failures r > 0 then 2 else if errors r > 0 then 1 else 0

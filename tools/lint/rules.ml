@@ -81,7 +81,54 @@ let all =
          guard so profiler-off runs never build span arguments; lib/prof/ \
          itself re-checks the flag and is exempt";
     };
+    {
+      id = "R8";
+      name = "mutable-escape";
+      slug = "domain-shared-ok";
+      summary =
+        "[typed] an ambient mutable location (ref, Hashtbl, array, Buffer, \
+         mutable record) that is written and reachable from a Domain.spawn \
+         worker body is shared across domains without synchronisation; make \
+         it Atomic.t/Domain.DLS, guard it with a Mutex field, or keep it out \
+         of spawned closures — subsumes and de-syntactifies R5";
+    };
+    {
+      id = "R9";
+      name = "spsc-discipline";
+      slug = "spsc-ok";
+      summary =
+        "[typed] each Spsc.create ring must keep its push* call sites in at \
+         most one spawn context and its pop* call sites in at most one spawn \
+         context along the call graph — the lock-free ring is only correct \
+         under single-producer/single-consumer usage";
+    };
+    {
+      id = "R10";
+      name = "job-purity";
+      slug = "impure-job-ok";
+      summary =
+        "[typed] registry job closures and stage functions handed to \
+         Skel_sim/Skel_mc/Farm_mc/Common.par_map must not write any ambient \
+         mutable location (module state or captured locals) except through \
+         the sanctioned Aspipe_util.Out capture and Atomic/DLS cells — the \
+         static underwriting of the jobs-1 ≡ jobs-N determinism contract";
+    };
+    {
+      id = "W1";
+      name = "unused-waiver";
+      slug = "unused-waiver-ok";
+      summary =
+        "a `(* lint: <slug> ... *)` comment whose rule never fires at that \
+         site is dead and could mask a future regression; delete it (only \
+         slugs of rules that actually ran in the pass are considered, so a \
+         typed-rule waiver survives a syntactic-only scan)";
+    };
   ]
+
+(* Bumped whenever a rule is added, removed or renamed; reported in the
+   JSON and SARIF outputs so archived reports are comparable. v1 = R1..R7
+   (PR 5/6), v2 adds the typed rules R8..R10 and W1. *)
+let catalogue_version = 2
 
 let find id = List.find_opt (fun r -> r.id = id) all
 
@@ -91,3 +138,9 @@ let get id =
   | None -> invalid_arg (Printf.sprintf "Rules.get: unknown rule %S" id)
 
 let ids = List.map (fun r -> r.id) all
+
+(* The rules whose findings only the cmt-based pass can produce: their
+   waiver slugs are exempt from W1 when the typed pass did not run. *)
+let typed_ids = [ "R8"; "R9"; "R10" ]
+let slugs = List.map (fun r -> r.slug) all
+let slug_of_rule id = (get id).slug

@@ -1,7 +1,7 @@
 (** The rule catalogue: stable ids, waiver slugs, one-line summaries. *)
 
 type t = {
-  id : string;  (** "R1".."R6" *)
+  id : string;  (** "R1".."R10", "W1" *)
   name : string;  (** short kebab-case name, e.g. "no-wall-clock" *)
   slug : string;  (** waiver token accepted in [(* lint: <slug> ... *)] *)
   summary : string;
@@ -13,3 +13,14 @@ val get : string -> t
 (** Like {!find}; raises [Invalid_argument] on an unknown id. *)
 
 val ids : string list
+
+val catalogue_version : int
+(** Bumped on any rule addition/removal/rename; carried in the JSON and
+    SARIF reports. *)
+
+val typed_ids : string list
+(** Rules only the cmt-based typed pass can fire (R8..R10); their slugs
+    are exempt from W1 when the typed pass did not run. *)
+
+val slugs : string list
+val slug_of_rule : string -> string

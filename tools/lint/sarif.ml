@@ -1,0 +1,78 @@
+(* SARIF 2.1.0 export. The log is built as an [Aspipe_obs.Json.t] value —
+   the same minimal JSON the rest of the tree uses — so it round-trips
+   through [Json.of_string] and tests can introspect it without an
+   external JSON dependency. Only the fields CI viewers actually read are
+   emitted: driver name/version, the rule catalogue, and one result per
+   finding with a physical location (SARIF columns are 1-based). *)
+
+open Aspipe_obs
+
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let rule_json (r : Rules.t) =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("name", Json.String r.name);
+      ("shortDescription", Json.Obj [ ("text", Json.String r.summary) ]);
+    ]
+
+let level (s : Finding.severity) =
+  match s with Finding.Error -> "error" | Finding.Warning -> "warning"
+
+let result_json (f : Finding.t) =
+  Json.Obj
+    [
+      ("ruleId", Json.String f.rule);
+      ("level", Json.String (level f.severity));
+      ("message", Json.Obj [ ("text", Json.String f.message) ]);
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  Json.Obj
+                    [
+                      ( "artifactLocation",
+                        Json.Obj [ ("uri", Json.String f.file) ] );
+                      ( "region",
+                        Json.Obj
+                          [
+                            ("startLine", Json.Int (max 1 f.line));
+                            ("startColumn", Json.Int (f.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let of_findings findings =
+  Json.Obj
+    [
+      ("$schema", Json.String schema);
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "aspipe-lint");
+                            ( "version",
+                              Json.String
+                                (string_of_int Rules.catalogue_version) );
+                            ("rules", Json.List (List.map rule_json Rules.all));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result_json findings));
+              ];
+          ] );
+    ]
+
+let render findings = Json.to_string (of_findings findings) ^ "\n"

@@ -1,0 +1,5 @@
+(** SARIF 2.1.0 export, built as [Aspipe_obs.Json.t] so it round-trips
+    through [Json.of_string]. *)
+
+val of_findings : Finding.t list -> Aspipe_obs.Json.t
+val render : Finding.t list -> string

@@ -1,0 +1,104 @@
+(* Typedtree helpers shared by the typed analyses (R8..R10).
+
+   Everything here keys on *resolved* [Path.t]s — the payoff of running on
+   the Typedtree instead of the Parsetree: `module S = Aspipe_util.Spsc`
+   followed by `S.push` still resolves to a path whose suffix is
+   [Spsc.push], so the analyses see through aliases, opens and dune's
+   `Lib__Module` name mangling. *)
+
+let rec flatten_path (p : Path.t) =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> flatten_path p @ [ s ]
+  | Path.Papply (a, b) -> flatten_path a @ flatten_path b
+  | Path.Pextra_ty (p, _) -> flatten_path p
+
+(* Dune mangles wrapped-library modules to `Lib__Module`; the short name is
+   the part after the last "__" ("Aspipe_util__Spsc" -> "Spsc",
+   "Dune__exe__Aspipe_cli" -> "Aspipe_cli"). *)
+let short_module_name m =
+  let n = String.length m in
+  let rec last_sep i acc =
+    if i + 1 >= n then acc
+    else if m.[i] = '_' && m.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) acc
+  in
+  match last_sep 0 None with Some j when j < n -> String.sub m j (n - j) | _ -> m
+
+let ends_with ~suffix parts =
+  let np = List.length parts and ns = List.length suffix in
+  np >= ns && List.filteri (fun i _ -> i >= np - ns) parts = suffix
+
+let matches_any suffixes parts = List.exists (fun s -> ends_with ~suffix:s parts) suffixes
+
+(* The first positional (unlabelled) argument of an application. *)
+let first_positional args =
+  List.find_map
+    (function Asttypes.Nolabel, Some e -> Some (e : Typedtree.expression) | _ -> None)
+    args
+
+let positional_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some e -> Some (e : Typedtree.expression) | _ -> None)
+    args
+
+(* [e] stripped of coercions/constraints recorded in [exp_extra]. The
+   typedtree stores them as wrappers in extras, so the description itself
+   is already the underlying expression — this is a hook point, kept for
+   clarity at call sites. *)
+let strip (e : Typedtree.expression) = e
+
+(* Head application: [Some (path-parts, args)] when [e] is
+   [f a1 ... an] with [f] an identifier. *)
+let head_apply (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) ->
+      Some (flatten_path p, args)
+  | _ -> None
+
+(* The ident bound by a simple [let x = ...] pattern, if any. *)
+let pattern_var (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> Some id
+  | Typedtree.Tpat_alias ({ pat_desc = Typedtree.Tpat_any; _ }, id, _) -> Some id
+  | _ -> None
+
+(* Unique hashtable key for an ident (name + stamp). *)
+let ident_key id = Ident.unique_name id
+
+(* Walk every expression of [root] with [f]; [f] sees each node before its
+   children. *)
+let iter_expressions f (root : Typedtree.expression) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it root
+
+(* Does the expression [e] contain [sub] (physical identity on nodes)?
+   Used to test whether a use site falls inside a spawn-argument subtree. *)
+let contains (e : Typedtree.expression) (sub : Typedtree.expression) =
+  let found = ref false in
+  iter_expressions (fun x -> if x == sub then found := true) e;
+  !found
+
+(* Peel a lambda chain down to its body: [fun ~a b -> e] yields the
+   labelled parameter idents in order plus [e]. Only simple-variable
+   parameters are named; a pattern parameter keeps its slot with [None].
+   The chain stops at the first multi-case [function] or optional
+   argument with a default (whose desugaring inserts a [let]) — callers
+   treat the unseen tail conservatively. *)
+let rec lambda_params (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_function { arg_label; cases = [ { c_lhs; c_rhs; c_guard = None } ]; _ } ->
+      let params, body = lambda_params c_rhs in
+      ((arg_label, pattern_var c_lhs) :: params, body)
+  | _ -> ([], e)
+
+let is_function (e : Typedtree.expression) =
+  match e.exp_desc with Typedtree.Texp_function _ -> true | _ -> false

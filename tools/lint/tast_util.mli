@@ -1,0 +1,38 @@
+(** Typedtree helpers shared by the typed analyses (R8..R10). All name
+    matching keys on resolved [Path.t] suffixes, so module aliases, opens
+    and dune's [Lib__Module] mangling are seen through. *)
+
+val flatten_path : Path.t -> string list
+val short_module_name : string -> string
+(** ["Aspipe_util__Spsc"] -> ["Spsc"]; unmangled names pass through. *)
+
+val ends_with : suffix:string list -> string list -> bool
+val matches_any : string list list -> string list -> bool
+
+val first_positional :
+  (Asttypes.arg_label * Typedtree.expression option) list -> Typedtree.expression option
+
+val positional_args :
+  (Asttypes.arg_label * Typedtree.expression option) list -> Typedtree.expression list
+
+val strip : Typedtree.expression -> Typedtree.expression
+
+val head_apply :
+  Typedtree.expression ->
+  (string list * (Asttypes.arg_label * Typedtree.expression option) list) option
+(** [Some (path-parts, args)] when the expression is [f a1 ... an] with
+    [f] an identifier. *)
+
+val pattern_var : Typedtree.pattern -> Ident.t option
+val ident_key : Ident.t -> string
+
+val iter_expressions : (Typedtree.expression -> unit) -> Typedtree.expression -> unit
+val contains : Typedtree.expression -> Typedtree.expression -> bool
+(** [contains e sub]: does [e]'s subtree hold [sub] (physical identity)? *)
+
+val lambda_params :
+  Typedtree.expression -> (Asttypes.arg_label * Ident.t option) list * Typedtree.expression
+(** Peel a lambda chain to (labelled parameters, body); stops at the
+    first multi-case [function] or defaulted optional argument. *)
+
+val is_function : Typedtree.expression -> bool

@@ -1,0 +1,14 @@
+(** The typed (Typedtree) pass: interprocedural analyses R8..R10.
+
+    [run] takes every unit of the scanned tree at once — the analyses are
+    whole-library: R8 reachability, R9 parameter summaries and R10 write
+    cones all follow the cross-unit mention graph. Waiver tables are the
+    same usage-tracked values the syntactic pass used, so a suppression
+    here counts for W1, and a location-level [shared-state-ok] /
+    [domain-shared-ok] waiver excludes the location from R8 and R10
+    alike. Findings come back at [Error] severity, sorted and deduplicated;
+    the driver applies severity overrides. *)
+
+type input = { unit_ : Typed_load.unit_input; waivers : Waivers.t }
+
+val run : input list -> Finding.t list

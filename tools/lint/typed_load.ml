@@ -1,0 +1,111 @@
+(* Loading Typedtrees for the typed pass (R8..R10).
+
+   Two sources:
+
+   - [load_tree] walks a dune build directory (normally `_build/default`)
+     for `.cmt` files, keeping implementations whose recorded source file
+     sits under one of the scan roots. Dune writes cmts by default
+     (`-bin-annot` is on), so `dune build @check` — or any full build — is
+     enough to feed the pass.
+
+   - [fixture] typechecks a source snippet in-process against the
+     compiler's initial environment, so unit tests can exercise the typed
+     analyses without a dune build. Fixtures may reference only the stdlib
+     plus modules they define themselves; a local `module Spsc = struct
+     ... end` stands in for the real ring because all typed-pass matching
+     is on path *suffixes*. *)
+
+type unit_input = {
+  path : string;  (* root-relative source path, '/'-separated *)
+  modname : string;  (* short module name, mangling stripped *)
+  structure : Typedtree.structure;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let under_roots roots path =
+  List.exists (fun r -> starts_with ~prefix:(r ^ "/") path || path = r) roots
+
+(* Normalise the cmt's recorded source path: dune records it relative to
+   the context root ("lib/util/spsc.ml"), already '/'-separated. *)
+let normalize p =
+  let p = if Filename.is_relative p then p else p in
+  String.concat "/" (String.split_on_char '\\' p)
+
+let rec walk_cmts dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc name ->
+          let abs = Filename.concat dir name in
+          if Sys.is_directory abs then walk_cmts abs acc
+          else if Filename.check_suffix name ".cmt" then abs :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+type load_result = { units : unit_input list; errors : string list }
+
+let load_tree ~root ~cmt_root ~roots =
+  let cmts = List.sort compare (walk_cmts cmt_root []) in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | exception exn ->
+          errors :=
+            Printf.sprintf "%s: unreadable cmt (%s)" cmt (Printexc.to_string exn) :: !errors
+      | info -> (
+          match (info.Cmt_format.cmt_sourcefile, info.Cmt_format.cmt_annots) with
+          | Some src, Cmt_format.Implementation structure ->
+              let path = normalize src in
+              (* Keep only real sources under the scan roots; generated
+                 files (`.ml-gen` alias modules, ppx output) have no
+                 counterpart on disk and are skipped. *)
+              if
+                under_roots roots path
+                && Filename.check_suffix path ".ml"
+                && Sys.file_exists (Filename.concat root path)
+                && not (Hashtbl.mem seen path)
+              then begin
+                Hashtbl.add seen path ();
+                let modname = Tast_util.short_module_name info.Cmt_format.cmt_modname in
+                units := { path; modname; structure } :: !units
+              end
+          | _ -> ()))
+    cmts;
+  {
+    units = List.sort (fun a b -> compare a.path b.path) !units;
+    errors = List.rev !errors;
+  }
+
+(* In-process typechecking for test fixtures. [Compmisc.init_path] seeds
+   the load path with the stdlib; the environment is cached because
+   re-initialising per fixture is needlessly slow. *)
+let initial_env = lazy (
+  Compmisc.init_path ();
+  Compmisc.initial_env ())
+
+let fixture ~path source =
+  let env = Lazy.force initial_env in
+  let modname =
+    String.capitalize_ascii Filename.(remove_extension (basename path))
+  in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match
+    let past = Parse.implementation lexbuf in
+    Typemod.type_structure env past
+  with
+  | structure, _, _, _, _ -> Ok { path; modname; structure }
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+            Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error msg

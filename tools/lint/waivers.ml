@@ -8,9 +8,16 @@
    of its own above it). The slug is the rule's waiver token (Rules.all);
    the justification is free text, and writing one is the point — every
    waiver documents an invariant exception that used to be folklore. One
-   comment carries one slug; stack comments to waive several rules. *)
+   comment carries one slug; stack comments to waive several rules.
 
-type t = (int * string) list  (* (line, slug), 1-based lines *)
+   Every entry records whether it actually suppressed a finding during a
+   scan: a waiver that never fires is dead weight that could mask a future
+   regression, so the driver reports unfired entries as W1 unused-waiver
+   (restricted to slugs whose rules actually ran — a typed-rule waiver is
+   not "unused" just because only the syntactic pass ran). *)
+
+type entry = { line : int; slug : string; mutable used : bool }
+type t = entry list
 
 let marker = "(* lint:"
 
@@ -41,7 +48,22 @@ let slugs_of_line line =
 
 let scan source : t =
   let lines = String.split_on_char '\n' source in
-  List.concat (List.mapi (fun i line -> List.map (fun s -> (i + 1, s)) (slugs_of_line line)) lines)
+  List.concat
+    (List.mapi
+       (fun i line -> List.map (fun s -> { line = i + 1; slug = s; used = false }) (slugs_of_line line))
+       lines)
 
+(* Marks the matching entry used: suppression is what a waiver is for, so
+   an [allows] hit is the liveness witness W1 keys on. *)
 let allows t ~line ~slug =
-  List.exists (fun (l, s) -> s = slug && (l = line || l = line - 1)) t
+  let hit = ref false in
+  List.iter
+    (fun e ->
+      if e.slug = slug && (e.line = line || e.line = line - 1) then begin
+        e.used <- true;
+        hit := true
+      end)
+    t;
+  !hit
+
+let entries t = List.map (fun e -> (e.line, e.slug, e.used)) t

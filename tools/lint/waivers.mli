@@ -1,5 +1,6 @@
 (** Waiver comments: [(* lint: <slug> <justification> *)] on the flagged
-    line or the line directly above suppresses that rule's finding. *)
+    line or the line directly above suppresses that rule's finding. Each
+    entry tracks whether it ever fired, feeding W1 unused-waiver. *)
 
 type t
 
@@ -8,4 +9,7 @@ val scan : string -> t
 
 val allows : t -> line:int -> slug:string -> bool
 (** [true] when [slug] is waived for a finding on [line] (the waiver sits
-    on [line] itself or on [line - 1]). *)
+    on [line] itself or on [line - 1]). Marks the matching entry used. *)
+
+val entries : t -> (int * string * bool) list
+(** All [(line, slug, used)] entries, in file order. *)
